@@ -1,0 +1,209 @@
+package repro
+
+// One benchmark per table and figure of the thesis' evaluation (chapter
+// 6). Each bench regenerates its artifact end to end — route synthesis
+// plus, for the figures, cycle-accurate simulation — on reduced cycle
+// budgets so the whole suite completes in minutes; cmd/experiments runs
+// the same code at the published 20k+100k cycle counts. Custom metrics
+// report the headline number of each artifact (best MCL, or saturation
+// throughput) so regressions in reproduction quality show up in benchmark
+// output, not just in runtime.
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/route"
+	"repro/internal/topology"
+)
+
+func benchMILP() route.Selector {
+	return route.MILPSelector{HopSlack: 2, MaxPathsPerFlow: 8, Refinements: 2,
+		MaxNodes: 40, Gap: 0.01}
+}
+
+func benchParams() experiments.SimParams {
+	return experiments.SimParams{VCs: 2, WarmupCycles: 2000, MeasureCycles: 10000, Seed: 1}
+}
+
+func benchRates() []float64 { return []float64{10, 30, 50} }
+
+// minPositive returns the smallest non-negative MCL of a table row.
+func minPositive(vals []float64) float64 {
+	best := -1.0
+	for _, v := range vals {
+		if v >= 0 && (best < 0 || v < best) {
+			best = v
+		}
+	}
+	return best
+}
+
+// BenchmarkTable61 regenerates Table 6.1: minimum MCL per acyclic CDG
+// under BSOR_MILP for all six workloads.
+func BenchmarkTable61(b *testing.B) {
+	m := topology.NewMesh(8, 8)
+	for i := 0; i < b.N; i++ {
+		rows := experiments.TableCDGExploration(m, benchMILP(), 2)
+		for _, r := range rows {
+			if r.Workload == "transpose" {
+				b.ReportMetric(minPositive(r.MCL), "transposeMCL")
+			}
+			if r.Workload == "h264" {
+				b.ReportMetric(minPositive(r.MCL), "h264MCL")
+			}
+		}
+	}
+}
+
+// BenchmarkTable62 regenerates Table 6.2: minimum MCL per acyclic CDG
+// under BSOR_Dijkstra.
+func BenchmarkTable62(b *testing.B) {
+	m := topology.NewMesh(8, 8)
+	for i := 0; i < b.N; i++ {
+		rows := experiments.TableCDGExploration(m, route.DijkstraSelector{}, 2)
+		for _, r := range rows {
+			if r.Workload == "transpose" {
+				b.ReportMetric(minPositive(r.MCL), "transposeMCL")
+			}
+		}
+	}
+}
+
+// BenchmarkTable63 regenerates Table 6.3: MCL of XY, YX, ROMM, Valiant,
+// BSOR_MILP and BSOR_Dijkstra on every workload.
+func BenchmarkTable63(b *testing.B) {
+	m := topology.NewMesh(8, 8)
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table63(m, benchMILP(), route.DijkstraSelector{}, 2, experiments.TableBreakers())
+		for _, r := range rows {
+			if r.Workload == "transpose" {
+				// Column order: XY, YX, ROMM, Valiant, BSOR-MILP, BSOR-Dijkstra.
+				b.ReportMetric(r.MCL[0], "XY")
+				b.ReportMetric(r.MCL[5], "BSORDijkstra")
+			}
+		}
+	}
+}
+
+// benchFigure runs one throughput/latency sweep figure and reports the
+// BSOR-Dijkstra and XY saturation throughput.
+func benchFigure(b *testing.B, workload string) {
+	b.Helper()
+	m := topology.NewMesh(8, 8)
+	var w experiments.Workload
+	for _, cand := range experiments.Workloads(m) {
+		if cand.Name == workload {
+			w = cand
+		}
+	}
+	algs := experiments.AlgorithmSet(benchMILP(), route.DijkstraSelector{}, 2, experiments.TableBreakers())
+	for i := 0; i < b.N; i++ {
+		series, err := experiments.FigureSweep(m, w.Flows, algs, benchRates(), benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range series {
+			last := s.Points[len(s.Points)-1]
+			switch s.Algorithm {
+			case "BSOR-Dijkstra":
+				b.ReportMetric(last.Throughput, "bsorSatTput")
+			case "XY":
+				b.ReportMetric(last.Throughput, "xySatTput")
+			}
+		}
+	}
+}
+
+// BenchmarkFig61Transpose regenerates Figure 6-1 (transpose sweep).
+func BenchmarkFig61Transpose(b *testing.B) { benchFigure(b, "transpose") }
+
+// BenchmarkFig62BitComplement regenerates Figure 6-2.
+func BenchmarkFig62BitComplement(b *testing.B) { benchFigure(b, "bit-complement") }
+
+// BenchmarkFig63Shuffle regenerates Figure 6-3.
+func BenchmarkFig63Shuffle(b *testing.B) { benchFigure(b, "shuffle") }
+
+// BenchmarkFig64H264 regenerates Figure 6-4.
+func BenchmarkFig64H264(b *testing.B) { benchFigure(b, "h264") }
+
+// BenchmarkFig65PerfModeling regenerates Figure 6-5.
+func BenchmarkFig65PerfModeling(b *testing.B) { benchFigure(b, "perf-modeling") }
+
+// BenchmarkFig66Transmitter regenerates Figure 6-6.
+func BenchmarkFig66Transmitter(b *testing.B) { benchFigure(b, "transmitter") }
+
+// BenchmarkFig67VCSweep regenerates Figure 6-7: transpose under 1/2/4/8
+// virtual channels, reporting the 2-VC and 4-VC saturation throughput
+// whose ratio carries the thesis' ~40% head-of-line-blocking finding.
+func BenchmarkFig67VCSweep(b *testing.B) {
+	m := topology.NewMesh(8, 8)
+	var w experiments.Workload
+	for _, cand := range experiments.Workloads(m) {
+		if cand.Name == "transpose" {
+			w = cand
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.VCSweep(m, w.Flows, []int{1, 2, 4, 8}, benchRates(), benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, vcs := range []int{2, 4} {
+			for _, s := range out[vcs] {
+				if s.Algorithm == "BSOR-Dijkstra" {
+					last := s.Points[len(s.Points)-1]
+					if vcs == 2 {
+						b.ReportMetric(last.Throughput, "tput2VC")
+					} else {
+						b.ReportMetric(last.Throughput, "tput4VC")
+					}
+				}
+			}
+		}
+	}
+}
+
+func benchVariation(b *testing.B, percent float64) {
+	b.Helper()
+	m := topology.NewMesh(8, 8)
+	var w experiments.Workload
+	for _, cand := range experiments.Workloads(m) {
+		if cand.Name == "transpose" {
+			w = cand
+		}
+	}
+	algs := experiments.AlgorithmSet(benchMILP(), route.DijkstraSelector{}, 2, experiments.TableBreakers())
+	for i := 0; i < b.N; i++ {
+		series, err := experiments.VariationSweep(m, w.Flows, algs, percent, benchRates(), benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range series {
+			if s.Algorithm == "BSOR-Dijkstra" {
+				last := s.Points[len(s.Points)-1]
+				b.ReportMetric(last.Throughput, "bsorSatTput")
+			}
+		}
+	}
+}
+
+// BenchmarkFig68Variation10 regenerates Figure 6-8 (10% variation).
+func BenchmarkFig68Variation10(b *testing.B) { benchVariation(b, 0.10) }
+
+// BenchmarkFig69Variation25 regenerates Figure 6-9 (25% variation).
+func BenchmarkFig69Variation25(b *testing.B) { benchVariation(b, 0.25) }
+
+// BenchmarkFig610Variation50 regenerates Figure 6-10 (50% variation).
+func BenchmarkFig610Variation50(b *testing.B) { benchVariation(b, 0.50) }
+
+// BenchmarkFig54InjectionTrace regenerates Figure 5-4: the Markov-
+// modulated injection-rate trace.
+func BenchmarkFig54InjectionTrace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		trace := experiments.InjectionTrace(25, 0.25, 120000, 52)
+		if len(trace) != 120000 {
+			b.Fatal("short trace")
+		}
+	}
+}

@@ -1,0 +1,238 @@
+// Command experiments regenerates the thesis' tables and figures.
+//
+//	experiments -table 6.1          # min MCL per acyclic CDG, BSOR_MILP
+//	experiments -table 6.2          # same under BSOR_Dijkstra
+//	experiments -table 6.3          # MCL comparison across algorithms
+//	experiments -figure 6-1         # transpose throughput/latency sweep
+//	...
+//	experiments -figure 6-7         # VC sweep
+//	experiments -figure 6-8         # 10% bandwidth variation
+//	experiments -figure 5-4         # injection-rate trace
+//	experiments -all                # everything
+//
+// -fast trims the simulated cycle counts (useful for smoke runs); the
+// defaults are the thesis' 20k warmup + 100k measured cycles.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/route"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+	"repro/internal/viz"
+)
+
+var (
+	fast  = flag.Bool("fast", false, "reduced cycle counts for smoke runs")
+	vcs   = flag.Int("vcs", 2, "virtual channels per link")
+	table = flag.String("table", "", "6.1 | 6.2 | 6.3")
+	fig   = flag.String("figure", "", "6-1 .. 6-10 | 5-4")
+	all   = flag.Bool("all", false, "run every table and figure")
+)
+
+func milpSelector() route.Selector {
+	return route.MILPSelector{HopSlack: 2, MaxPathsPerFlow: 16, Refinements: 3, MaxNodes: 120, Gap: 0.01}
+}
+
+func simParams() experiments.SimParams {
+	p := experiments.SimParams{VCs: *vcs, Seed: 1}
+	if *fast {
+		p.WarmupCycles = 2000
+		p.MeasureCycles = 10000
+	}
+	return p
+}
+
+func sweepRates() []float64 {
+	return []float64{2, 5, 10, 15, 20, 25, 30, 35, 40, 50, 60}
+}
+
+func main() {
+	flag.Parse()
+	m := topology.NewMesh(8, 8)
+
+	ran := false
+	if *all || *table == "6.1" {
+		runTableCDG(m, "Table 6.1 (BSOR_MILP: min MCL per acyclic CDG, MB/s)", milpSelector())
+		ran = true
+	}
+	if *all || *table == "6.2" {
+		runTableCDG(m, "Table 6.2 (BSOR_Dijkstra: min MCL per acyclic CDG, MB/s)", route.DijkstraSelector{})
+		ran = true
+	}
+	if *all || *table == "6.3" {
+		runTable63(m)
+		ran = true
+	}
+	figures := map[string]string{
+		"6-1": "transpose", "6-2": "bit-complement", "6-3": "shuffle",
+		"6-4": "h264", "6-5": "perf-modeling", "6-6": "transmitter",
+	}
+	for id, wl := range figures {
+		if *all || *fig == id {
+			runFigureSweep(m, id, wl)
+			ran = true
+		}
+	}
+	if *all || *fig == "6-7" {
+		runVCSweep(m)
+		ran = true
+	}
+	for id, pct := range map[string]float64{"6-8": 0.10, "6-9": 0.25, "6-10": 0.50} {
+		if *all || *fig == id {
+			runVariation(m, id, pct)
+			ran = true
+		}
+	}
+	if *all || *fig == "5-4" {
+		runTrace()
+		ran = true
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(1)
+	}
+}
+
+func runTableCDG(m *topology.Mesh, title string, sel route.Selector) {
+	fmt.Println(title)
+	rows := experiments.TableCDGExploration(m, sel, *vcs)
+	if len(rows) > 0 {
+		fmt.Printf("%-16s", "workload")
+		for _, b := range rows[0].Breakers {
+			fmt.Printf(" %20s", b)
+		}
+		fmt.Println()
+	}
+	for _, r := range rows {
+		fmt.Printf("%-16s", r.Workload)
+		for _, v := range r.MCL {
+			if v < 0 {
+				fmt.Printf(" %20s", "n/a")
+			} else {
+				fmt.Printf(" %20.2f", v)
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+}
+
+func runTable63(m *topology.Mesh) {
+	fmt.Println("Table 6.3 (MCL in MB/s per routing algorithm)")
+	rows := experiments.Table63(m, milpSelector(), route.DijkstraSelector{}, *vcs, experiments.TableBreakers())
+	if len(rows) > 0 {
+		fmt.Printf("%-16s", "workload")
+		for _, a := range rows[0].Algorithms {
+			fmt.Printf(" %14s", a)
+		}
+		fmt.Println()
+	}
+	for _, r := range rows {
+		fmt.Printf("%-16s", r.Workload)
+		for _, v := range r.MCL {
+			fmt.Printf(" %14.2f", v)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+}
+
+func workloadByName(m *topology.Mesh, name string) experiments.Workload {
+	for _, w := range experiments.Workloads(m) {
+		if w.Name == name {
+			return w
+		}
+	}
+	panic("unknown workload " + name)
+}
+
+func printSeries(series []experiments.Series) {
+	for _, s := range series {
+		fmt.Printf("  %s\n", s.Algorithm)
+		fmt.Printf("    %10s %12s %12s\n", "offered", "throughput", "latency")
+		for _, p := range s.Points {
+			note := ""
+			if p.Deadlocked {
+				note = "  DEADLOCK"
+			}
+			fmt.Printf("    %10.2f %12.4f %12.2f%s\n", p.Offered, p.Throughput, p.AvgLatency, note)
+		}
+	}
+	var tput, lat []viz.Series
+	for _, s := range series {
+		vs := viz.Series{Label: s.Algorithm}
+		vl := viz.Series{Label: s.Algorithm}
+		for _, p := range s.Points {
+			vs.X = append(vs.X, p.Offered)
+			vs.Y = append(vs.Y, p.Throughput)
+			vl.X = append(vl.X, p.Offered)
+			vl.Y = append(vl.Y, p.AvgLatency)
+		}
+		tput = append(tput, vs)
+		lat = append(lat, vl)
+	}
+	fmt.Println(viz.Chart("throughput (pkt/cycle) vs offered rate", tput, 60, 14))
+	fmt.Println(viz.Chart("average latency (cycles) vs offered rate", lat, 60, 14))
+}
+
+func runFigureSweep(m *topology.Mesh, id, workload string) {
+	fmt.Printf("Figure %s (%s: throughput and average latency vs offered rate)\n", id, workload)
+	w := workloadByName(m, workload)
+	algs := experiments.AlgorithmSet(milpSelector(), route.DijkstraSelector{}, *vcs, experiments.TableBreakers())
+	series, err := experiments.FigureSweep(m, w.Flows, algs, sweepRates(), simParams())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	printSeries(series)
+}
+
+func runVCSweep(m *topology.Mesh) {
+	fmt.Println("Figure 6-7 (virtual channel sweep: transpose and h264)")
+	for _, wl := range []string{"transpose", "h264"} {
+		w := workloadByName(m, wl)
+		out, err := experiments.VCSweep(m, w.Flows, []int{1, 2, 4, 8}, sweepRates(), simParams())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, vc := range []int{1, 2, 4, 8} {
+			fmt.Printf("%s, %d VCs:\n", wl, vc)
+			printSeries(out[vc])
+		}
+	}
+}
+
+func runVariation(m *topology.Mesh, id string, pct float64) {
+	fmt.Printf("Figure %s (%.0f%% bandwidth variation: transpose and h264)\n", id, pct*100)
+	algs := experiments.AlgorithmSet(milpSelector(), route.DijkstraSelector{}, *vcs, experiments.TableBreakers())
+	for _, wl := range []string{"transpose", "h264"} {
+		w := workloadByName(m, wl)
+		series, err := experiments.VariationSweep(m, w.Flows, algs, pct, sweepRates(), simParams())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s:\n", wl)
+		printSeries(series)
+	}
+}
+
+func runTrace() {
+	fmt.Println("Figure 5-4 (node injection rate under 25% variation, first 2000 cycles)")
+	trace := experiments.InjectionTrace(traffic.DefaultSyntheticDemand, 0.25, 2000, 52)
+	for i := 0; i < len(trace); i += 100 {
+		fmt.Printf("  cycle %5d: %6.2f MB/s\n", i, trace[i])
+	}
+	// One sparkline character per 10-cycle window.
+	sampled := make([]float64, 0, len(trace)/10)
+	for i := 0; i < len(trace); i += 10 {
+		sampled = append(sampled, trace[i])
+	}
+	fmt.Printf("  trace: %s\n", viz.Sparkline(sampled))
+}

@@ -1,0 +1,15 @@
+// Package repro is a Go reproduction of "Application-Aware Deadlock-Free
+// Oblivious Routing" (Michel A. Kinsy, MIT, 2009): the BSOR framework for
+// bandwidth-sensitive oblivious routing in networks-on-chip, together with
+// every substrate its evaluation depends on — channel dependence graphs
+// and turn-model cycle breaking, an LP/MILP solver, Dijkstra- and
+// MILP-based route selectors, the classic oblivious baselines, the
+// evaluation workloads, and a cycle-accurate wormhole virtual-channel
+// network simulator.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for paper-versus-measured results.
+// The root-level benchmarks (bench_test.go) regenerate each table and
+// figure of the thesis' evaluation chapter; cmd/experiments prints them in
+// full.
+package repro

@@ -1,0 +1,45 @@
+// VC sweep example (the Figure 6-7 experiment in miniature): transpose
+// traffic simulated with 1, 2, 4 and 8 virtual channels per link, showing
+// the thesis' finding that 2 -> 4 VCs mitigates head-of-line blocking
+// (~40% throughput gain) while 4 -> 8 adds little because link bandwidth
+// becomes the limit.
+//
+//	go run ./examples/vcsweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+func main() {
+	m := topology.NewMesh(8, 8)
+	flows := traffic.Transpose(m, traffic.DefaultSyntheticDemand)
+
+	fmt.Println("transpose, BSOR-Dijkstra routes, offered rate 30 pkt/cycle:")
+	for _, vcs := range []int{1, 2, 4, 8} {
+		set, best, err := core.Best(m, flows, core.Config{VCs: vcs})
+		if err != nil {
+			log.Fatal(err)
+		}
+		mcl, _ := set.MCL()
+		s, err := sim.New(sim.Config{
+			Mesh: m, Routes: set, VCs: vcs, OfferedRate: 30,
+			WarmupCycles: 5000, MeasureCycles: 30000, Seed: 3,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %d VCs: MCL %.0f (via %s), throughput %.3f pkt/cyc, latency %.1f cycles\n",
+			vcs, mcl, best.Breaker, res.Throughput, res.AvgLatency)
+	}
+}

@@ -1,0 +1,49 @@
+package cdg
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// DatelineBreaker makes torus CDGs acyclic. Torus rings contain
+// turn-free channel cycles (straight travel all the way around a
+// dimension), so no turn model alone suffices; the classic remedy is a
+// dateline: a packet crossing the wraparound link of a dimension must
+// ascend to a higher virtual channel. Kept edges are those whose turn the
+// rule allows and whose VC assignment is non-descending, strictly
+// ascending into any wraparound channel.
+//
+// Acyclicity: VC indices never decrease along kept edges and strictly
+// increase into wrap channels, so a cycle would have to stay on one VC
+// and avoid entering wrap channels entirely; what remains is a sub-graph
+// of the mesh-like CDG, which the turn rule keeps acyclic.
+type DatelineBreaker struct {
+	Rule TurnRule
+}
+
+// Name implements Breaker.
+func (b DatelineBreaker) Name() string { return "dateline/" + b.Rule.Name() }
+
+// Break implements Breaker. The CDG's topology must be a *topology.Torus
+// with at least two virtual channels.
+func (b DatelineBreaker) Break(full *Graph) *Graph {
+	torus, ok := full.Topology().(*topology.Torus)
+	if !ok {
+		panic("cdg: DatelineBreaker requires a torus topology")
+	}
+	if full.VCs() < 2 {
+		panic(fmt.Sprintf("cdg: dateline needs >= 2 VCs, have %d", full.VCs()))
+	}
+	return full.Filter(func(u, v VertexID) bool {
+		cu, vcu := full.ChannelVC(u)
+		cv, vcv := full.ChannelVC(v)
+		if vcv < vcu {
+			return false
+		}
+		if torus.Wraparound(cv) && vcv <= vcu {
+			return false
+		}
+		return b.Rule.Allows(torus.Channel(cu).Dir, torus.Channel(cv).Dir)
+	})
+}

@@ -1,0 +1,83 @@
+package cdg
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestTorusFullCDGIsCyclic(t *testing.T) {
+	tr := topology.NewTorus(4, 4)
+	full := NewFull(tr, 2)
+	if full.IsAcyclic() {
+		t.Fatal("torus CDG should contain ring cycles")
+	}
+	// Even a turn model alone cannot break torus rings: straight-through
+	// travel around a ring uses no turns at all.
+	broken := TurnBreaker{Rule: XYOrder}.Break(full)
+	if broken.IsAcyclic() {
+		t.Fatal("turn model alone cannot break torus ring cycles")
+	}
+}
+
+func TestDatelineBreakerAcyclic(t *testing.T) {
+	for _, dims := range [][2]int{{3, 3}, {4, 4}, {5, 3}} {
+		tr := topology.NewTorus(dims[0], dims[1])
+		for _, vcs := range []int{2, 4} {
+			full := NewFull(tr, vcs)
+			for _, rule := range []TurnRule{XYOrder, WestFirst, NegativeFirst} {
+				a := DatelineBreaker{Rule: rule}.Break(full)
+				if !a.IsAcyclic() {
+					t.Errorf("%dx%d torus vcs=%d rule %s: cyclic",
+						dims[0], dims[1], vcs, rule.Name())
+				}
+			}
+		}
+	}
+}
+
+func TestDatelineBreakerEdgeDiscipline(t *testing.T) {
+	tr := topology.NewTorus(4, 4)
+	full := NewFull(tr, 2)
+	a := DatelineBreaker{Rule: XYOrder}.Break(full)
+	if a.NumEdges() == 0 {
+		t.Fatal("empty dateline CDG")
+	}
+	for u := 0; u < a.NumVertices(); u++ {
+		cu, vcu := a.ChannelVC(VertexID(u))
+		for _, v := range a.Out(VertexID(u)) {
+			cv, vcv := a.ChannelVC(v)
+			if vcv < vcu {
+				t.Fatal("VC descent kept")
+			}
+			if tr.Wraparound(cv) && vcv <= vcu {
+				t.Fatal("wrap entry without VC ascent")
+			}
+			if !(XYOrder).Allows(tr.Channel(cu).Dir, tr.Channel(cv).Dir) {
+				t.Fatal("prohibited turn kept")
+			}
+		}
+	}
+}
+
+func TestDatelineBreakerRequiresTorus(t *testing.T) {
+	m := topology.NewMesh(3, 3)
+	full := NewFull(m, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mesh accepted")
+		}
+	}()
+	DatelineBreaker{Rule: XYOrder}.Break(full)
+}
+
+func TestDatelineBreakerRequiresTwoVCs(t *testing.T) {
+	tr := topology.NewTorus(3, 3)
+	full := NewFull(tr, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("1 VC accepted")
+		}
+	}()
+	DatelineBreaker{Rule: XYOrder}.Break(full)
+}

@@ -1,0 +1,160 @@
+// Package core is the BSOR framework of thesis chapter 3 — the paper's
+// primary contribution. It wires the substrates together:
+//
+//  1. build the full channel dependence graph of the network,
+//  2. derive many acyclic CDGs with different cycle-breaking strategies,
+//  3. derive a flow network from each acyclic CDG,
+//  4. run a route selector (MILP- or Dijkstra-based) on each flow network,
+//  5. keep the route set with the smallest maximum channel load.
+//
+// The result is an oblivious, deadlock-free route set that a table-based
+// virtual-channel router (internal/sim) executes unchanged.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cdg"
+	"repro/internal/flowgraph"
+	"repro/internal/route"
+	"repro/internal/topology"
+)
+
+// Config parameterizes one BSOR synthesis run.
+type Config struct {
+	// VCs is the number of virtual channels per link. Default 2.
+	VCs int
+	// Breakers are the acyclic-CDG strategies to explore. Default: the
+	// thesis' fifteen (twelve turn-model rules + three ad hoc seeds).
+	Breakers []cdg.Breaker
+	// Selector chooses routes on each flow network. Default
+	// route.DijkstraSelector{}; use route.MILPSelector for BSOR_MILP.
+	Selector route.Selector
+	// ChannelCapacity is the link bandwidth used for residual-capacity
+	// weights and the MILP capacity rows. Zero means 4x the largest flow
+	// demand, which puts the Dijkstra weight function in its
+	// load-sensitive regime (see DESIGN.md).
+	ChannelCapacity float64
+}
+
+func (c Config) withDefaults(flows []flowgraph.Flow) Config {
+	if c.VCs == 0 {
+		c.VCs = 2
+	}
+	if c.Breakers == nil {
+		c.Breakers = cdg.StandardBreakers()
+	}
+	if c.Selector == nil {
+		c.Selector = route.DijkstraSelector{}
+	}
+	if c.ChannelCapacity == 0 {
+		max := 0.0
+		for _, f := range flows {
+			max = math.Max(max, f.Demand)
+		}
+		if max == 0 {
+			max = 1
+		}
+		c.ChannelCapacity = 4 * max
+	}
+	return c
+}
+
+// Explored records the outcome of route selection under one acyclic CDG.
+type Explored struct {
+	// Breaker names the cycle-breaking strategy.
+	Breaker string
+	// MCL is the maximum channel load of the selected routes.
+	MCL float64
+	// AvgHops is the mean route length.
+	AvgHops float64
+	// Set holds the routes; nil when Err is set.
+	Set *route.Set
+	// Err reports why this CDG produced no routes (e.g. an ad hoc CDG
+	// disconnected a flow).
+	Err error
+}
+
+// Explore runs the configured selector under every breaker and returns
+// one Explored per breaker, in breaker order.
+func Explore(m *topology.Mesh, flows []flowgraph.Flow, cfg Config) []Explored {
+	cfg = cfg.withDefaults(flows)
+	full := cdg.NewFull(m, cfg.VCs)
+	results := make([]Explored, 0, len(cfg.Breakers))
+	for _, b := range cfg.Breakers {
+		ex := Explored{Breaker: b.Name()}
+		dag := b.Break(full)
+		g := flowgraph.New(dag, flows, cfg.ChannelCapacity)
+		set, err := cfg.Selector.Select(g)
+		if err != nil {
+			ex.Err = err
+			results = append(results, ex)
+			continue
+		}
+		if err := set.Conforms(dag); err != nil {
+			ex.Err = fmt.Errorf("core: selector violated the CDG: %w", err)
+			results = append(results, ex)
+			continue
+		}
+		ex.Set = set
+		ex.MCL, _ = set.MCL()
+		ex.AvgHops = set.AvgHops()
+		results = append(results, ex)
+	}
+	return results
+}
+
+// Best explores all breakers and returns the route set with the smallest
+// MCL (ties broken by smaller average hop count, then breaker order),
+// fully validated: structurally sound, CDG-conformant, and deadlock free.
+func Best(m *topology.Mesh, flows []flowgraph.Flow, cfg Config) (*route.Set, Explored, error) {
+	cfg = cfg.withDefaults(flows)
+	results := Explore(m, flows, cfg)
+	best := -1
+	for i, ex := range results {
+		if ex.Err != nil {
+			continue
+		}
+		if best < 0 || ex.MCL < results[best].MCL-1e-9 ||
+			(math.Abs(ex.MCL-results[best].MCL) <= 1e-9 && ex.AvgHops < results[best].AvgHops) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil, Explored{}, fmt.Errorf("core: no acyclic CDG admitted routes for all %d flows", len(flows))
+	}
+	set := results[best].Set
+	if err := set.Validate(cfg.VCs); err != nil {
+		return nil, Explored{}, err
+	}
+	if err := set.DeadlockFree(cfg.VCs); err != nil {
+		return nil, Explored{}, err
+	}
+	return set, results[best], nil
+}
+
+// BSOR adapts the framework to the route.Algorithm interface so that it
+// composes with the baselines in experiments and the simulator.
+type BSOR struct {
+	Config Config
+	// Label overrides the algorithm name (e.g. "BSOR-MILP").
+	Label string
+}
+
+// Name implements route.Algorithm.
+func (b BSOR) Name() string {
+	if b.Label != "" {
+		return b.Label
+	}
+	if b.Config.Selector != nil {
+		return b.Config.Selector.Name()
+	}
+	return "BSOR"
+}
+
+// Routes implements route.Algorithm.
+func (b BSOR) Routes(m *topology.Mesh, flows []flowgraph.Flow) (*route.Set, error) {
+	set, _, err := Best(m, flows, b.Config)
+	return set, err
+}

@@ -1,0 +1,296 @@
+// Package experiments regenerates every table and figure of the thesis'
+// evaluation (chapter 6). Each exported function corresponds to one table
+// or figure; cmd/experiments prints them and the root benchmark suite
+// wraps them. DESIGN.md carries the experiment index; EXPERIMENTS.md
+// records paper-versus-measured values.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cdg"
+	"repro/internal/core"
+	"repro/internal/flowgraph"
+	"repro/internal/route"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// Workload is one of the six evaluation workloads.
+type Workload struct {
+	Name  string
+	Flows []flowgraph.Flow
+}
+
+// Workloads returns the thesis' six workloads on the 8x8 mesh: three
+// synthetic patterns at 25 MB/s per flow and three profiled applications.
+func Workloads(m *topology.Mesh) []Workload {
+	return []Workload{
+		{"transpose", traffic.Transpose(m, traffic.DefaultSyntheticDemand)},
+		{"bit-complement", traffic.BitComplement(m, traffic.DefaultSyntheticDemand)},
+		{"shuffle", traffic.Shuffle(m, traffic.DefaultSyntheticDemand)},
+		{"h264", traffic.H264Decoder(m).Flows},
+		{"perf-modeling", traffic.PerfModeling(m).Flows},
+		{"transmitter", traffic.Transmitter80211(m).Flows},
+	}
+}
+
+// TableBreakers are the five acyclic-CDG columns of Tables 6.1 and 6.2.
+// "negative-first" is the (W,N) rotation under our axis convention (see
+// DESIGN.md).
+func TableBreakers() []cdg.Breaker {
+	return []cdg.Breaker{
+		cdg.TurnBreaker{Rule: cdg.LastRule(topology.North)},
+		cdg.TurnBreaker{Rule: cdg.FirstRule(topology.West)},
+		cdg.TurnBreaker{Rule: cdg.NegativeFirstRule(topology.West, topology.North)},
+		cdg.AdHocBreaker{Seed: 1},
+		cdg.AdHocBreaker{Seed: 2},
+	}
+}
+
+// CDGRow is one row of Table 6.1 / 6.2: the MCL found under each explored
+// acyclic CDG for one workload. Failed CDGs (disconnected flows) are
+// reported as negative entries.
+type CDGRow struct {
+	Workload string
+	Breakers []string
+	MCL      []float64
+}
+
+// TableCDGExploration computes Table 6.1 (selector = route.MILPSelector)
+// or Table 6.2 (selector = route.DijkstraSelector): min MCL per acyclic
+// CDG per workload.
+func TableCDGExploration(m *topology.Mesh, selector route.Selector, vcs int) []CDGRow {
+	breakers := TableBreakers()
+	var rows []CDGRow
+	for _, w := range Workloads(m) {
+		row := CDGRow{Workload: w.Name}
+		results := core.Explore(m, w.Flows, core.Config{
+			VCs: vcs, Breakers: breakers, Selector: selector,
+		})
+		for _, ex := range results {
+			row.Breakers = append(row.Breakers, ex.Breaker)
+			if ex.Err != nil {
+				row.MCL = append(row.MCL, -1)
+			} else {
+				row.MCL = append(row.MCL, ex.MCL)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// AlgoMCL is one row of Table 6.3: the MCL of each routing algorithm on
+// one workload.
+type AlgoMCL struct {
+	Workload   string
+	Algorithms []string
+	MCL        []float64
+}
+
+// Table63 compares the maximum channel load of XY, YX, ROMM, Valiant,
+// BSOR_MILP and BSOR_Dijkstra on every workload. BSOR entries take the
+// best across the explored CDGs (breakers; nil = the standard fifteen).
+func Table63(m *topology.Mesh, milp route.Selector, dijkstra route.Selector, vcs int,
+	breakers []cdg.Breaker) []AlgoMCL {
+
+	algs := []route.Algorithm{
+		route.XY{}, route.YX{},
+		route.ROMM{Seed: 1}, route.Valiant{Seed: 1},
+		core.BSOR{Label: "BSOR-MILP", Config: core.Config{VCs: vcs, Selector: milp, Breakers: breakers}},
+		core.BSOR{Label: "BSOR-Dijkstra", Config: core.Config{VCs: vcs, Selector: dijkstra, Breakers: breakers}},
+	}
+	var rows []AlgoMCL
+	for _, w := range Workloads(m) {
+		row := AlgoMCL{Workload: w.Name}
+		for _, a := range algs {
+			row.Algorithms = append(row.Algorithms, a.Name())
+			set, err := a.Routes(m, w.Flows)
+			if err != nil {
+				row.MCL = append(row.MCL, -1)
+				continue
+			}
+			mcl, _ := set.MCL()
+			row.MCL = append(row.MCL, mcl)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// SweepPoint is one (offered rate, throughput, latency) sample of a
+// figure's load sweep.
+type SweepPoint struct {
+	Offered    float64
+	Throughput float64
+	AvgLatency float64
+	Deadlocked bool
+}
+
+// Series is one curve of a figure.
+type Series struct {
+	Algorithm string
+	Points    []SweepPoint
+}
+
+// SimParams bundles the simulation settings of a figure, defaulting to
+// the thesis' published parameters. Reduced cycle counts are used by the
+// benchmarks to keep regeneration tractable; the cmd tool exposes flags.
+type SimParams struct {
+	VCs           int
+	WarmupCycles  int64
+	MeasureCycles int64
+	Seed          int64
+}
+
+func (p SimParams) withDefaults() SimParams {
+	if p.VCs == 0 {
+		p.VCs = 2
+	}
+	if p.WarmupCycles == 0 {
+		p.WarmupCycles = 20000
+	}
+	if p.MeasureCycles == 0 {
+		p.MeasureCycles = 100000
+	}
+	return p
+}
+
+// AlgorithmSet returns the six algorithms of the throughput/latency
+// figures. breakers selects the acyclic CDGs the BSOR variants explore;
+// nil means the full fifteen-CDG standard set (the table subset keeps
+// regeneration fast at equal best-MCL on these workloads).
+func AlgorithmSet(milp, dijkstra route.Selector, vcs int, breakers []cdg.Breaker) []route.Algorithm {
+	return []route.Algorithm{
+		core.BSOR{Label: "BSOR-MILP", Config: core.Config{VCs: vcs, Selector: milp, Breakers: breakers}},
+		core.BSOR{Label: "BSOR-Dijkstra", Config: core.Config{VCs: vcs, Selector: dijkstra, Breakers: breakers}},
+		route.ROMM{Seed: 1},
+		route.Valiant{Seed: 1},
+		route.XY{},
+		route.YX{},
+	}
+}
+
+// dynamicVC reports whether an algorithm's routes are simulated with
+// dynamic VC allocation. DOR routes are deadlock free under arbitrary VC
+// mixing; the two-phase and BSOR route sets rely on their static VC
+// assignment (§4.2.2).
+func dynamicVC(name string) bool { return name == "XY" || name == "YX" }
+
+// FigureSweep produces the throughput and latency curves of Figures 6-1
+// through 6-6 for one workload: every algorithm simulated across the
+// offered injection rates.
+func FigureSweep(m *topology.Mesh, flows []flowgraph.Flow, algs []route.Algorithm,
+	rates []float64, p SimParams) ([]Series, error) {
+
+	p = p.withDefaults()
+	var out []Series
+	for _, a := range algs {
+		set, err := a.Routes(m, flows)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", a.Name(), err)
+		}
+		s := Series{Algorithm: a.Name()}
+		for _, r := range rates {
+			res, err := runSim(m, set, p, r, dynamicVC(a.Name()), nil)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s at %g: %w", a.Name(), r, err)
+			}
+			s.Points = append(s.Points, SweepPoint{
+				Offered: r, Throughput: res.Throughput,
+				AvgLatency: res.AvgLatency, Deadlocked: res.Deadlocked,
+			})
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func runSim(m *topology.Mesh, set *route.Set, p SimParams, offered float64,
+	dynamic bool, variation func(flow int) float64) (*sim.Result, error) {
+
+	s, err := sim.New(sim.Config{
+		Mesh: m, Routes: set, VCs: p.VCs,
+		DynamicVC:     dynamic,
+		OfferedRate:   offered,
+		WarmupCycles:  p.WarmupCycles,
+		MeasureCycles: p.MeasureCycles,
+		Seed:          p.Seed + int64(offered*1000),
+		RateVariation: variation,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}
+
+// VCSweep produces Figure 6-7: the best BSOR and DOR algorithms simulated
+// with different virtual channel counts on one workload.
+func VCSweep(m *topology.Mesh, flows []flowgraph.Flow, vcCounts []int,
+	rates []float64, p SimParams) (map[int][]Series, error) {
+
+	out := make(map[int][]Series)
+	for _, vcs := range vcCounts {
+		pp := p
+		pp.VCs = vcs
+		algs := []route.Algorithm{
+			core.BSOR{Label: "BSOR-Dijkstra", Config: core.Config{VCs: vcs}},
+			route.XY{},
+		}
+		series, err := FigureSweep(m, flows, algs, rates, pp)
+		if err != nil {
+			return nil, err
+		}
+		out[vcs] = series
+	}
+	return out, nil
+}
+
+// VariationSweep produces Figures 6-8/6-9/6-10: routes stay computed from
+// the base demands while injection rates vary by +/-percent via
+// per-flow Markov-modulated processes.
+func VariationSweep(m *topology.Mesh, flows []flowgraph.Flow, algs []route.Algorithm,
+	percent float64, rates []float64, p SimParams) ([]Series, error) {
+
+	p = p.withDefaults()
+	var out []Series
+	for _, a := range algs {
+		set, err := a.Routes(m, flows)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", a.Name(), err)
+		}
+		s := Series{Algorithm: a.Name()}
+		for _, r := range rates {
+			mmps := make([]*traffic.MMP, len(flows))
+			for i, f := range flows {
+				mmps[i] = traffic.NewMMP(f.Demand, percent, 500, p.Seed+int64(i))
+			}
+			variation := func(flow int) float64 {
+				return mmps[flow].Advance()
+			}
+			res, err := runSim(m, set, p, r, dynamicVC(a.Name()), variation)
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, SweepPoint{
+				Offered: r, Throughput: res.Throughput,
+				AvgLatency: res.AvgLatency, Deadlocked: res.Deadlocked,
+			})
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// InjectionTrace reproduces Figure 5-4: the piecewise-constant injection
+// rate of one node under Markov-modulated variation.
+func InjectionTrace(base, percent float64, cycles int, seed int64) []float64 {
+	mmp := traffic.NewMMP(base, percent, 500, seed)
+	out := make([]float64, cycles)
+	for i := range out {
+		out[i] = mmp.Advance()
+	}
+	return out
+}

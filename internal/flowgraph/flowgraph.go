@@ -1,0 +1,244 @@
+// Package flowgraph derives route-selection flow networks from acyclic
+// channel dependence graphs (thesis §3.4).
+//
+// The flow network G_A copies the acyclic CDG D_A (vertices are (channel,
+// virtual channel) pairs, edges are permitted consecutive traversals) and
+// adds one source terminal and one sink terminal per flow: the source
+// terminal connects to every vertex whose channel leaves the flow's source
+// node, and every vertex whose channel enters the flow's sink node connects
+// to the sink terminal. Any terminal-to-terminal path in G_A is therefore a
+// route that conforms to D_A, so the routes selected on G_A are deadlock
+// free by construction.
+package flowgraph
+
+import (
+	"fmt"
+
+	"repro/internal/cdg"
+	"repro/internal/topology"
+)
+
+// Flow is one application data transfer K_i = (s_i, t_i, d_i): all packets
+// from Src to Dst with an estimated bandwidth demand (in consistent units,
+// MB/s throughout this repository).
+type Flow struct {
+	// ID indexes the flow within its flow set.
+	ID int
+	// Name is a diagnostic label such as "f7" or "transpose(2,5)".
+	Name string
+	Src  topology.NodeID
+	Dst  topology.NodeID
+	// Demand is the estimated bandwidth of the transfer.
+	Demand float64
+}
+
+// VertexID identifies a vertex of the flow network: the CDG vertices come
+// first (same numbering as the CDG), followed by a source and a sink
+// terminal per flow.
+type VertexID int32
+
+// Graph is the flow network G_A for a flow set over an acyclic CDG.
+type Graph struct {
+	dag   *cdg.Graph
+	flows []Flow
+	out   [][]VertexID
+
+	// capacity per physical channel (virtual channels on one physical link
+	// share its bandwidth, so capacity and load are per channel, not per
+	// CDG vertex).
+	capacity []float64
+}
+
+// New builds G_A from an acyclic CDG and a flow set, with a uniform channel
+// capacity. New panics if dag is cyclic (a cyclic CDG would let route
+// selection produce deadlock-prone routes) or if a flow is degenerate.
+func New(dag *cdg.Graph, flows []Flow, channelCapacity float64) *Graph {
+	caps := make([]float64, dag.Topology().NumChannels())
+	for i := range caps {
+		caps[i] = channelCapacity
+	}
+	return NewWithCapacities(dag, flows, caps)
+}
+
+// NewWithCapacities is New with an explicit per-channel capacity vector.
+func NewWithCapacities(dag *cdg.Graph, flows []Flow, capacity []float64) *Graph {
+	if !dag.IsAcyclic() {
+		panic("flowgraph: CDG must be acyclic for deadlock-free route selection")
+	}
+	topo := dag.Topology()
+	if len(capacity) != topo.NumChannels() {
+		panic(fmt.Sprintf("flowgraph: %d capacities for %d channels",
+			len(capacity), topo.NumChannels()))
+	}
+	for _, f := range flows {
+		if f.Src == f.Dst {
+			panic(fmt.Sprintf("flowgraph: flow %s has equal source and sink", f.Name))
+		}
+		if f.Demand < 0 {
+			panic(fmt.Sprintf("flowgraph: flow %s has negative demand", f.Name))
+		}
+	}
+
+	nCDG := dag.NumVertices()
+	g := &Graph{
+		dag:      dag,
+		flows:    flows,
+		out:      make([][]VertexID, nCDG+2*len(flows)),
+		capacity: capacity,
+	}
+	for v := 0; v < nCDG; v++ {
+		succ := dag.Out(cdg.VertexID(v))
+		row := make([]VertexID, len(succ))
+		for i, w := range succ {
+			row[i] = VertexID(w)
+		}
+		g.out[v] = row
+	}
+	for i, f := range flows {
+		src := g.SrcTerminal(i)
+		for _, ch := range topo.OutChannels(f.Src) {
+			for vc := 0; vc < dag.VCs(); vc++ {
+				g.out[src] = append(g.out[src], VertexID(dag.Vertex(ch, vc)))
+			}
+		}
+		snk := g.SinkTerminal(i)
+		for _, ch := range topo.InChannels(f.Dst) {
+			for vc := 0; vc < dag.VCs(); vc++ {
+				v := VertexID(dag.Vertex(ch, vc))
+				g.out[v] = append(g.out[v], snk)
+			}
+		}
+	}
+	return g
+}
+
+// CDG returns the acyclic CDG the network was derived from.
+func (g *Graph) CDG() *cdg.Graph { return g.dag }
+
+// Topology returns the underlying network topology.
+func (g *Graph) Topology() topology.Topology { return g.dag.Topology() }
+
+// Flows returns the flow set. The slice must not be modified.
+func (g *Graph) Flows() []Flow { return g.flows }
+
+// NumVertices reports CDG vertices plus the two terminals per flow.
+func (g *Graph) NumVertices() int { return len(g.out) }
+
+// SrcTerminal returns the source terminal vertex for flow i.
+func (g *Graph) SrcTerminal(i int) VertexID {
+	return VertexID(g.dag.NumVertices() + 2*i)
+}
+
+// SinkTerminal returns the sink terminal vertex for flow i.
+func (g *Graph) SinkTerminal(i int) VertexID {
+	return VertexID(g.dag.NumVertices() + 2*i + 1)
+}
+
+// IsTerminal reports whether v is a flow terminal rather than a channel
+// vertex.
+func (g *Graph) IsTerminal(v VertexID) bool {
+	return int(v) >= g.dag.NumVertices()
+}
+
+// ChannelVC returns the (channel, virtual channel) of a non-terminal
+// vertex.
+func (g *Graph) ChannelVC(v VertexID) (topology.ChannelID, int) {
+	if g.IsTerminal(v) {
+		panic(fmt.Sprintf("flowgraph: vertex %d is a terminal", v))
+	}
+	return g.dag.ChannelVC(cdg.VertexID(v))
+}
+
+// Out returns the successors of v. The returned slice must not be
+// modified. Sink terminals have no successors.
+func (g *Graph) Out(v VertexID) []VertexID { return g.out[v] }
+
+// Capacity returns the bandwidth capacity of a physical channel.
+func (g *Graph) Capacity(ch topology.ChannelID) float64 { return g.capacity[ch] }
+
+// Path is a route through G_A expressed as the CDG vertices between the
+// two terminals: Path[0]'s channel leaves the flow's source node and the
+// last element's channel enters the sink node.
+type Path []cdg.VertexID
+
+// Channels projects the path onto physical channels.
+func (g *Graph) Channels(p Path) []topology.ChannelID {
+	chs := make([]topology.ChannelID, len(p))
+	for i, v := range p {
+		chs[i], _ = g.dag.ChannelVC(v)
+	}
+	return chs
+}
+
+// Validate checks that p is a real source-to-sink path for flow i: starts
+// at the source node, ends at the sink node, every hop is a G_A edge.
+func (g *Graph) Validate(i int, p Path) error {
+	if len(p) == 0 {
+		return fmt.Errorf("flowgraph: empty path for flow %s", g.flows[i].Name)
+	}
+	topo := g.Topology()
+	first, _ := g.dag.ChannelVC(p[0])
+	if topo.Channel(first).Src != g.flows[i].Src {
+		return fmt.Errorf("flowgraph: path for %s starts at %s, want %s",
+			g.flows[i].Name, topo.NodeName(topo.Channel(first).Src),
+			topo.NodeName(g.flows[i].Src))
+	}
+	last, _ := g.dag.ChannelVC(p[len(p)-1])
+	if topo.Channel(last).Dst != g.flows[i].Dst {
+		return fmt.Errorf("flowgraph: path for %s ends at %s, want %s",
+			g.flows[i].Name, topo.NodeName(topo.Channel(last).Dst),
+			topo.NodeName(g.flows[i].Dst))
+	}
+	for k := 0; k+1 < len(p); k++ {
+		if !g.dag.HasEdge(p[k], p[k+1]) {
+			return fmt.Errorf("flowgraph: path for %s uses dependence %d->%d absent from the acyclic CDG",
+				g.flows[i].Name, p[k], p[k+1])
+		}
+	}
+	return nil
+}
+
+// EnumeratePaths lists source-to-sink paths for flow i whose hop count is
+// at most maxHops, stopping after maxPaths paths (0 means no cap for
+// either limit). G_A is a DAG, so enumeration terminates; paths are
+// discovered in depth-first order.
+func (g *Graph) EnumeratePaths(i int, maxHops, maxPaths int) []Path {
+	var (
+		paths []Path
+		cur   []cdg.VertexID
+	)
+	snk := g.SinkTerminal(i)
+	var dfs func(v VertexID) bool // returns false to stop the enumeration
+	dfs = func(v VertexID) bool {
+		if maxHops > 0 && len(cur) > maxHops {
+			return true
+		}
+		if v == snk {
+			p := make(Path, len(cur))
+			copy(p, cur)
+			paths = append(paths, p)
+			return maxPaths == 0 || len(paths) < maxPaths
+		}
+		if g.IsTerminal(v) && v != g.SrcTerminal(i) {
+			return true // another flow's terminal; not part of this search
+		}
+		for _, w := range g.out[v] {
+			if g.IsTerminal(w) && w != snk {
+				continue
+			}
+			if !g.IsTerminal(w) {
+				cur = append(cur, cdg.VertexID(w))
+			}
+			ok := dfs(w)
+			if !g.IsTerminal(w) {
+				cur = cur[:len(cur)-1]
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	dfs(g.SrcTerminal(i))
+	return paths
+}

@@ -1,0 +1,222 @@
+package lp
+
+import "math"
+
+// MILPOptions tunes the branch-and-bound search.
+type MILPOptions struct {
+	// MaxNodes truncates the search after this many explored nodes; the
+	// best incumbent found so far is returned with Status Feasible. This
+	// mirrors the thesis' suggestion (§7.3) of using the ILP solver as a
+	// heuristic on large instances by limiting its effort. Zero means the
+	// default of 50000.
+	MaxNodes int
+	// IntTol is the integrality tolerance; zero means 1e-6.
+	IntTol float64
+	// Gap prunes nodes whose LP bound is within Gap (absolute) of the
+	// incumbent, accepting near-optimal answers faster. Zero means exact.
+	Gap float64
+	// WarmStart, when non-nil, supplies a known feasible point (one value
+	// per variable) used as the initial incumbent, so bound pruning is
+	// effective from the first node. An infeasible warm start is
+	// silently ignored.
+	WarmStart []float64
+}
+
+func (o MILPOptions) withDefaults() MILPOptions {
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 50000
+	}
+	if o.IntTol == 0 {
+		o.IntTol = 1e-6
+	}
+	return o
+}
+
+type bbNode struct {
+	lb, ub []float64
+	bound  float64 // parent LP objective (minimization sense)
+	depth  int
+}
+
+// SolveMILP solves p respecting its integer variable markers using
+// LP-relaxation branch and bound with most-fractional branching and
+// depth-first exploration (better-bound node first among siblings).
+func SolveMILP(p *Problem, opts MILPOptions) (*Solution, error) {
+	opts = opts.withDefaults()
+
+	intVars := make([]int, 0)
+	for j, v := range p.vars {
+		if v.integer {
+			intVars = append(intVars, j)
+		}
+	}
+	if len(intVars) == 0 {
+		return Solve(p)
+	}
+
+	sign := 1.0
+	if p.maximize {
+		sign = -1.0
+	}
+	// Internal search minimizes sign*objective.
+	lb0 := make([]float64, len(p.vars))
+	ub0 := make([]float64, len(p.vars))
+	for j, v := range p.vars {
+		lb0[j], ub0[j] = v.lb, v.ub
+	}
+
+	var (
+		best      *Solution
+		bestObj   = math.Inf(1) // minimization sense
+		nodes     int
+		truncated bool
+	)
+	if opts.WarmStart != nil {
+		if x, obj, ok := p.checkFeasible(opts.WarmStart, opts.IntTol); ok {
+			best = &Solution{Status: Feasible, Objective: obj, X: x}
+			bestObj = sign * obj
+		}
+	}
+	stack := []bbNode{{lb: lb0, ub: ub0, bound: math.Inf(-1)}}
+
+	for len(stack) > 0 {
+		if nodes >= opts.MaxNodes {
+			truncated = true
+			break
+		}
+		node := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if node.bound >= bestObj-opts.Gap-1e-12 {
+			continue // pruned by bound established when pushed
+		}
+		nodes++
+
+		sol, err := solveLP(p, node.lb, node.ub)
+		if err != nil {
+			return nil, err
+		}
+		switch sol.Status {
+		case Infeasible:
+			continue
+		case Unbounded:
+			// With all integer variables bounded this can only occur at
+			// the root via continuous variables; report it.
+			if nodes == 1 {
+				return &Solution{Status: Unbounded, Nodes: nodes}, nil
+			}
+			continue
+		}
+		obj := sign * sol.Objective
+		if obj >= bestObj-opts.Gap-1e-12 {
+			continue
+		}
+
+		// Find the most fractional integer variable.
+		branch, fracDist := -1, opts.IntTol
+		for _, j := range intVars {
+			f := sol.X[j] - math.Floor(sol.X[j])
+			d := math.Min(f, 1-f)
+			if d > fracDist {
+				fracDist = d
+				branch = j
+			}
+		}
+		if branch < 0 {
+			// Integral: new incumbent. Round to exact integers.
+			x := make([]float64, len(sol.X))
+			copy(x, sol.X)
+			for _, j := range intVars {
+				x[j] = math.Round(x[j])
+			}
+			best = &Solution{Status: Feasible, Objective: sol.Objective, X: x}
+			bestObj = obj
+			continue
+		}
+
+		xv := sol.X[branch]
+		floorUB := append([]float64(nil), node.ub...)
+		floorUB[branch] = math.Floor(xv)
+		ceilLB := append([]float64(nil), node.lb...)
+		ceilLB[branch] = math.Ceil(xv)
+		children := []bbNode{
+			{lb: node.lb, ub: floorUB, bound: obj, depth: node.depth + 1},
+			{lb: ceilLB, ub: node.ub, bound: obj, depth: node.depth + 1},
+		}
+		// Depth-first dive order: the stack pops the last-pushed child, so
+		// the child to explore first goes last. For 0/1 variables always
+		// dive toward 1: in the set-partitioning structures this solver
+		// mostly sees (choose one path per flow), fixing a variable to 1
+		// resolves its whole equality row, so the dive reaches an
+		// incumbent in one pass. General integers dive toward the
+		// relaxation's preference.
+		diveUp := true
+		if p.vars[branch].ub > 1 || p.vars[branch].lb < 0 {
+			diveUp = xv-math.Floor(xv) > 0.5
+		}
+		if !diveUp {
+			children[0], children[1] = children[1], children[0]
+		}
+		stack = append(stack, children...)
+	}
+
+	if best == nil {
+		if truncated {
+			// No incumbent within the node budget: report infeasible-as-
+			// truncated via Feasible=false; callers treat this as failure.
+			return &Solution{Status: Infeasible, Nodes: nodes}, nil
+		}
+		return &Solution{Status: Infeasible, Nodes: nodes}, nil
+	}
+	best.Nodes = nodes
+	if !truncated {
+		best.Status = Optimal
+	}
+	return best, nil
+}
+
+// checkFeasible verifies a candidate point against bounds, integrality,
+// and every constraint; returns a defensive copy and its objective value.
+func (p *Problem) checkFeasible(x []float64, intTol float64) ([]float64, float64, bool) {
+	const tol = 1e-6
+	if len(x) != len(p.vars) {
+		return nil, 0, false
+	}
+	for j, v := range p.vars {
+		if x[j] < v.lb-tol || x[j] > v.ub+tol {
+			return nil, 0, false
+		}
+		if v.integer && math.Abs(x[j]-math.Round(x[j])) > intTol {
+			return nil, 0, false
+		}
+	}
+	for _, c := range p.cons {
+		lhs := 0.0
+		for _, t := range c.terms {
+			lhs += t.Coef * x[t.Var]
+		}
+		switch c.sense {
+		case LE:
+			if lhs > c.rhs+tol {
+				return nil, 0, false
+			}
+		case GE:
+			if lhs < c.rhs-tol {
+				return nil, 0, false
+			}
+		case EQ:
+			if math.Abs(lhs-c.rhs) > tol {
+				return nil, 0, false
+			}
+		}
+	}
+	out := make([]float64, len(x))
+	copy(out, x)
+	obj := 0.0
+	for j, v := range p.vars {
+		if v.integer {
+			out[j] = math.Round(out[j])
+		}
+		obj += v.cost * out[j]
+	}
+	return out, obj, true
+}

@@ -1,0 +1,239 @@
+package route
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/flowgraph"
+	"repro/internal/topology"
+)
+
+// Algorithm is any oblivious routing algorithm that assigns a static route
+// per flow on a mesh: the baselines here, or the BSOR framework (wrapped by
+// the core package).
+type Algorithm interface {
+	Name() string
+	Routes(m *topology.Mesh, flows []flowgraph.Flow) (*Set, error)
+}
+
+// dorPath returns the dimension-order path between two nodes: X dimension
+// first when xyFirst, otherwise Y first.
+func dorPath(m *topology.Mesh, src, dst topology.NodeID, xyFirst bool) []topology.ChannelID {
+	var chans []topology.ChannelID
+	x, y := m.XY(src)
+	dx, dy := m.XY(dst)
+	stepX := func() {
+		for x != dx {
+			dir := topology.East
+			if dx < x {
+				dir = topology.West
+			}
+			chans = append(chans, m.ChannelAt(m.NodeAt(x, y), dir))
+			if dir == topology.East {
+				x++
+			} else {
+				x--
+			}
+		}
+	}
+	stepY := func() {
+		for y != dy {
+			dir := topology.North
+			if dy < y {
+				dir = topology.South
+			}
+			chans = append(chans, m.ChannelAt(m.NodeAt(x, y), dir))
+			if dir == topology.North {
+				y++
+			} else {
+				y--
+			}
+		}
+	}
+	if xyFirst {
+		stepX()
+		stepY()
+	} else {
+		stepY()
+		stepX()
+	}
+	return chans
+}
+
+func constVCs(n, vc int) []int {
+	vcs := make([]int, n)
+	for i := range vcs {
+		vcs[i] = vc
+	}
+	return vcs
+}
+
+// XY is XY-ordered dimension order routing (deterministic, deadlock free
+// on meshes with a single virtual channel).
+type XY struct{}
+
+// Name implements Algorithm.
+func (XY) Name() string { return "XY" }
+
+// Routes implements Algorithm.
+func (XY) Routes(m *topology.Mesh, flows []flowgraph.Flow) (*Set, error) {
+	return dorRoutes(m, flows, true)
+}
+
+// YX is YX-ordered dimension order routing.
+type YX struct{}
+
+// Name implements Algorithm.
+func (YX) Name() string { return "YX" }
+
+// Routes implements Algorithm.
+func (YX) Routes(m *topology.Mesh, flows []flowgraph.Flow) (*Set, error) {
+	return dorRoutes(m, flows, false)
+}
+
+func dorRoutes(m *topology.Mesh, flows []flowgraph.Flow, xyFirst bool) (*Set, error) {
+	s := &Set{Topo: m, Routes: make([]Route, len(flows))}
+	for i, f := range flows {
+		chans := dorPath(m, f.Src, f.Dst, xyFirst)
+		if len(chans) == 0 {
+			return nil, fmt.Errorf("route: flow %s has equal endpoints", f.Name)
+		}
+		s.Routes[i] = Route{Flow: f, Channels: chans, VCs: constVCs(len(chans), 0)}
+	}
+	return s, nil
+}
+
+// twoPhase builds phase-1 XY to an intermediate node on VC 0 followed by
+// phase-2 XY to the destination on VC 1, then splices out loops (the
+// Towles refinement the thesis cites): any revisited node cuts the
+// enclosed cycle, which also removes 180-degree reversals at the
+// intermediate node. Each surviving segment is a prefix or suffix of an
+// XY route, so VC 0 and VC 1 each stay XY-conformant and the two-VC
+// dependence graph remains acyclic.
+func twoPhase(m *topology.Mesh, src, mid, dst topology.NodeID) (chans []topology.ChannelID, vcs []int) {
+	type hop struct {
+		ch topology.ChannelID
+		vc int
+	}
+	var hops []hop
+	for _, ch := range dorPath(m, src, mid, true) {
+		hops = append(hops, hop{ch, 0})
+	}
+	for _, ch := range dorPath(m, mid, dst, true) {
+		hops = append(hops, hop{ch, 1})
+	}
+	// Splice loops: track first visit position of each node.
+	visited := map[topology.NodeID]int{src: 0}
+	out := hops[:0]
+	for _, h := range hops {
+		next := m.Channel(h.ch).Dst
+		if pos, ok := visited[next]; ok {
+			// Cut everything after the first visit of next.
+			for _, cut := range out[pos:] {
+				delete(visited, m.Channel(cut.ch).Dst)
+			}
+			out = out[:pos]
+			visited[next] = len(out)
+			continue
+		}
+		out = append(out, h)
+		visited[next] = len(out)
+	}
+	for _, h := range out {
+		chans = append(chans, h.ch)
+		vcs = append(vcs, h.vc)
+	}
+	return chans, vcs
+}
+
+// ROMM is two-phase randomized minimal oblivious routing: the intermediate
+// node is drawn uniformly from the minimal quadrant between source and
+// destination, keeping every route minimal. Intermediates are chosen per
+// flow (not per packet), as in the thesis' experiments. Requires two
+// virtual channels for deadlock freedom (one per phase).
+type ROMM struct {
+	Seed int64
+}
+
+// Name implements Algorithm.
+func (ROMM) Name() string { return "ROMM" }
+
+// Routes implements Algorithm.
+func (r ROMM) Routes(m *topology.Mesh, flows []flowgraph.Flow) (*Set, error) {
+	rng := rand.New(rand.NewSource(r.Seed))
+	s := &Set{Topo: m, Routes: make([]Route, len(flows))}
+	for i, f := range flows {
+		sx, sy := m.XY(f.Src)
+		dx, dy := m.XY(f.Dst)
+		lox, hix := minmax(sx, dx)
+		loy, hiy := minmax(sy, dy)
+		mid := m.NodeAt(lox+rng.Intn(hix-lox+1), loy+rng.Intn(hiy-loy+1))
+		chans, vcs := twoPhase(m, f.Src, mid, f.Dst)
+		if len(chans) == 0 {
+			return nil, fmt.Errorf("route: flow %s has equal endpoints", f.Name)
+		}
+		s.Routes[i] = Route{Flow: f, Channels: chans, VCs: vcs}
+	}
+	return s, nil
+}
+
+// Valiant is two-phase randomized routing with the intermediate node drawn
+// uniformly from the whole mesh (Valiant & Brebner), per flow. Loops are
+// spliced out of the concatenated route. Requires two virtual channels.
+type Valiant struct {
+	Seed int64
+}
+
+// Name implements Algorithm.
+func (Valiant) Name() string { return "Valiant" }
+
+// Routes implements Algorithm.
+func (v Valiant) Routes(m *topology.Mesh, flows []flowgraph.Flow) (*Set, error) {
+	rng := rand.New(rand.NewSource(v.Seed))
+	s := &Set{Topo: m, Routes: make([]Route, len(flows))}
+	for i, f := range flows {
+		mid := topology.NodeID(rng.Intn(m.NumNodes()))
+		chans, vcs := twoPhase(m, f.Src, mid, f.Dst)
+		if len(chans) == 0 {
+			return nil, fmt.Errorf("route: flow %s has equal endpoints", f.Name)
+		}
+		s.Routes[i] = Route{Flow: f, Channels: chans, VCs: vcs}
+	}
+	return s, nil
+}
+
+// O1TURN balances each flow onto XY or YX order with equal probability
+// (Seo et al.), using one virtual channel per order for deadlock freedom.
+// Like ROMM and Valiant, the choice is per flow here.
+type O1TURN struct {
+	Seed int64
+}
+
+// Name implements Algorithm.
+func (O1TURN) Name() string { return "O1TURN" }
+
+// Routes implements Algorithm.
+func (o O1TURN) Routes(m *topology.Mesh, flows []flowgraph.Flow) (*Set, error) {
+	rng := rand.New(rand.NewSource(o.Seed))
+	s := &Set{Topo: m, Routes: make([]Route, len(flows))}
+	for i, f := range flows {
+		xyFirst := rng.Intn(2) == 0
+		chans := dorPath(m, f.Src, f.Dst, xyFirst)
+		if len(chans) == 0 {
+			return nil, fmt.Errorf("route: flow %s has equal endpoints", f.Name)
+		}
+		vc := 0
+		if !xyFirst {
+			vc = 1
+		}
+		s.Routes[i] = Route{Flow: f, Channels: chans, VCs: constVCs(len(chans), vc)}
+	}
+	return s, nil
+}
+
+func minmax(a, b int) (lo, hi int) {
+	if a < b {
+		return a, b
+	}
+	return b, a
+}

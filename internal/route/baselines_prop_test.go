@@ -1,0 +1,103 @@
+package route
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/flowgraph"
+	"repro/internal/topology"
+)
+
+// Property sweep: across many seeds and random flow sets, every baseline
+// produces structurally valid, deadlock-free routes with correctly phased
+// virtual channels.
+func TestBaselinePropertySweep(t *testing.T) {
+	m := topology.NewMesh(8, 8)
+	for seed := int64(1); seed <= 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var flows []flowgraph.Flow
+		n := 5 + rng.Intn(20)
+		for i := 0; i < n; i++ {
+			src := topology.NodeID(rng.Intn(64))
+			dst := topology.NodeID(rng.Intn(64))
+			for dst == src {
+				dst = topology.NodeID(rng.Intn(64))
+			}
+			flows = append(flows, flowgraph.Flow{
+				ID: i, Name: "p", Src: src, Dst: dst, Demand: float64(1 + rng.Intn(40)),
+			})
+		}
+		algs := []Algorithm{
+			XY{}, YX{}, ROMM{Seed: seed}, Valiant{Seed: seed}, O1TURN{Seed: seed},
+		}
+		for _, a := range algs {
+			set, err := a.Routes(m, flows)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, a.Name(), err)
+			}
+			if err := set.Validate(2); err != nil {
+				t.Fatalf("seed %d %s: %v", seed, a.Name(), err)
+			}
+			if err := set.DeadlockFree(2); err != nil {
+				t.Fatalf("seed %d %s: %v", seed, a.Name(), err)
+			}
+			// Loads are conserved: total load equals sum over flows of
+			// demand * hops.
+			want := 0.0
+			for _, r := range set.Routes {
+				want += r.Flow.Demand * float64(r.Hops())
+			}
+			got := 0.0
+			for _, l := range set.Loads() {
+				got += l
+			}
+			if diff := got - want; diff > 1e-6 || diff < -1e-6 {
+				t.Fatalf("seed %d %s: load sum %g != %g", seed, a.Name(), got, want)
+			}
+		}
+	}
+}
+
+// Valiant's loop splicing must never lengthen a route beyond the two
+// concatenated phases, and ROMM stays within the minimal quadrant.
+func TestTwoPhaseBounds(t *testing.T) {
+	m := topology.NewMesh(8, 8)
+	var flows []flowgraph.Flow
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 30; i++ {
+		src := topology.NodeID(rng.Intn(64))
+		dst := topology.NodeID(rng.Intn(64))
+		for dst == src {
+			dst = topology.NodeID(rng.Intn(64))
+		}
+		flows = append(flows, flowgraph.Flow{ID: i, Name: "b", Src: src, Dst: dst, Demand: 1})
+	}
+	vset, err := Valiant{Seed: 2}.Routes(m, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range vset.Routes {
+		// Two phases each at most the mesh diameter.
+		if r.Hops() > 2*14 {
+			t.Fatalf("Valiant route of %d hops exceeds two diameters", r.Hops())
+		}
+	}
+	rset, err := ROMM{Seed: 2}.Routes(m, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rset.Routes {
+		sx, sy := m.XY(r.Flow.Src)
+		dx, dy := m.XY(r.Flow.Dst)
+		lox, hix := minmax(sx, dx)
+		loy, hiy := minmax(sy, dy)
+		at := r.Flow.Src
+		for _, ch := range r.Channels {
+			at = m.Channel(ch).Dst
+			x, y := m.XY(at)
+			if x < lox || x > hix || y < loy || y > hiy {
+				t.Fatalf("ROMM route leaves the minimal quadrant at %s", m.NodeName(at))
+			}
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package route
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"repro/internal/cdg"
+	"repro/internal/flowgraph"
+)
+
+// The thesis' limitations chapter (§7.2) sketches two variants this file
+// implements: forcing latency-critical transfers onto minimal routes, and
+// routing without bandwidth estimates by minimizing the maximum number of
+// flows sharing a link.
+
+// UnitDemand wraps a selector so route selection sees every flow with
+// demand 1: the MCL objective degenerates to "minimize the maximum number
+// of flows sharing a link", usable when bandwidth estimates are
+// unavailable (§7.2). The returned route set carries the original
+// demands.
+func UnitDemand(sel Selector) Selector { return unitDemand{sel} }
+
+type unitDemand struct{ inner Selector }
+
+func (u unitDemand) Name() string { return u.inner.Name() + "/unit-demand" }
+
+func (u unitDemand) Select(g *flowgraph.Graph) (*Set, error) {
+	flows := g.Flows()
+	unit := make([]flowgraph.Flow, len(flows))
+	copy(unit, flows)
+	for i := range unit {
+		unit[i].Demand = 1
+	}
+	ug := flowgraph.New(g.CDG(), unit, float64(len(flows)))
+	set, err := u.inner.Select(ug)
+	if err != nil {
+		return nil, err
+	}
+	for i := range set.Routes {
+		set.Routes[i].Flow = flows[i]
+	}
+	return set, nil
+}
+
+// shortestPathGABounded is shortestPathGA with a hard hop budget: the
+// search state is (vertex, hops used), so the cheapest path with at most
+// maxHops channels is found. Setting maxHops to the flow's minimal hop
+// count forces a minimal route (latency-critical flows, §7.2).
+func shortestPathGABounded(g *flowgraph.Graph, i int, maxHops int,
+	vertexWeight func(v flowgraph.VertexID) float64) (flowgraph.Path, error) {
+
+	n := g.NumVertices()
+	idx := func(st hopState) int { return int(st.v)*(maxHops+1) + st.hops }
+	dist := make([]float64, n*(maxHops+1))
+	prev := make([]int32, n*(maxHops+1))
+	for k := range dist {
+		dist[k] = math.Inf(1)
+		prev[k] = -1
+	}
+	src, snk := g.SrcTerminal(i), g.SinkTerminal(i)
+	start := hopState{src, 0}
+	dist[idx(start)] = 0
+	pq := &boundedHeap{items: []boundedItem{{st: start, d: 0}}}
+	var goal = -1
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(boundedItem)
+		k := idx(it.st)
+		if it.d > dist[k] {
+			continue
+		}
+		if it.st.v == snk {
+			goal = k
+			break
+		}
+		for _, w := range g.Out(it.st.v) {
+			if g.IsTerminal(w) && w != snk {
+				continue
+			}
+			next := it.st
+			var edgeW float64
+			if w != snk {
+				next = hopState{w, it.st.hops + 1}
+				if next.hops > maxHops {
+					continue
+				}
+				edgeW = vertexWeight(w)
+			} else {
+				next = hopState{w, it.st.hops}
+			}
+			nk := idx(next)
+			if nd := it.d + edgeW; nd < dist[nk] {
+				dist[nk] = nd
+				prev[nk] = int32(k)
+				heap.Push(pq, boundedItem{st: next, d: nd})
+			}
+		}
+	}
+	if goal < 0 {
+		f := g.Flows()[i]
+		return nil, fmt.Errorf("route: flow %s has no path within %d hops in this acyclic CDG",
+			f.Name, maxHops)
+	}
+	var p flowgraph.Path
+	for k := int(prev[goal]); k >= 0 && flowgraph.VertexID(k/(maxHops+1)) != src; k = int(prev[k]) {
+		p = append(p, cdg.VertexID(k/(maxHops+1)))
+	}
+	for a, b := 0, len(p)-1; a < b; a, b = a+1, b-1 {
+		p[a], p[b] = p[b], p[a]
+	}
+	return p, nil
+}
+
+// hopState is a (vertex, hops-used) search state of the bounded Dijkstra.
+type hopState struct {
+	v    flowgraph.VertexID
+	hops int
+}
+
+type boundedItem struct {
+	st hopState
+	d  float64
+}
+
+type boundedHeap struct{ items []boundedItem }
+
+func (h *boundedHeap) Len() int           { return len(h.items) }
+func (h *boundedHeap) Less(i, j int) bool { return h.items[i].d < h.items[j].d }
+func (h *boundedHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *boundedHeap) Push(x interface{}) { h.items = append(h.items, x.(boundedItem)) }
+func (h *boundedHeap) Pop() (x interface{}) {
+	old := h.items
+	n := len(old)
+	x = old[n-1]
+	h.items = old[:n-1]
+	return x
+}

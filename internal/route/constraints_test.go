@@ -1,0 +1,142 @@
+package route
+
+import (
+	"testing"
+
+	"repro/internal/cdg"
+	"repro/internal/flowgraph"
+	"repro/internal/topology"
+)
+
+func TestUnitDemandMinimizesFlowCount(t *testing.T) {
+	m := topology.NewMesh(3, 3)
+	// One giant flow and two small ones with shared endpoints: under
+	// bandwidth-weighted selection the small flows may share a link; with
+	// unit demands the selector spreads by count.
+	flows := []flowgraph.Flow{
+		{ID: 0, Name: "big", Src: m.NodeAt(0, 0), Dst: m.NodeAt(2, 2), Demand: 1000},
+		{ID: 1, Name: "s1", Src: m.NodeAt(0, 0), Dst: m.NodeAt(2, 2), Demand: 1},
+		{ID: 2, Name: "s2", Src: m.NodeAt(0, 0), Dst: m.NodeAt(2, 2), Demand: 1},
+	}
+	dag := cdg.TurnBreaker{Rule: cdg.WestFirst}.Break(cdg.NewFull(m, 1))
+	g := flowgraph.New(dag, flows, 4000)
+	sel := UnitDemand(DijkstraSelector{})
+	if sel.Name() != "BSOR-Dijkstra/unit-demand" {
+		t.Errorf("Name = %q", sel.Name())
+	}
+	set, err := sel.Select(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Original demands must be preserved on the returned routes.
+	if set.Routes[0].Flow.Demand != 1000 || set.Routes[1].Flow.Demand != 1 {
+		t.Error("demands not restored")
+	}
+	// Max flows per link: source node (0,0) has 2 out channels for 3
+	// flows, so the best achievable count is 2.
+	counts := make([]int, m.NumChannels())
+	maxCount := 0
+	for _, r := range set.Routes {
+		for _, ch := range r.Channels {
+			counts[ch]++
+			if counts[ch] > maxCount {
+				maxCount = counts[ch]
+			}
+		}
+	}
+	if maxCount != 2 {
+		t.Errorf("max flows per link = %d, want 2", maxCount)
+	}
+	if err := set.Conforms(g.CDG()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHopBudgetForcesMinimalRoute(t *testing.T) {
+	m := topology.NewMesh(8, 8)
+	flows := transposeFlows(m, 25)
+	rule := cdg.NegativeFirstRule(topology.West, topology.North)
+	dag := cdg.TurnBreaker{Rule: rule}.Break(cdg.NewFull(m, 2))
+	g := flowgraph.New(dag, flows, 100)
+
+	// Unconstrained BSOR takes detours on transpose (avg hops > 6).
+	free, err := DijkstraSelector{}.Select(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Force flow 0 minimal.
+	budgets := map[int]int{0: m.MinimalHops(flows[0].Src, flows[0].Dst)}
+	constrained, err := DijkstraSelector{HopBudgets: budgets}.Select(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := constrained.Routes[0].Hops(), budgets[0]; got != want {
+		t.Errorf("latency-critical flow routed in %d hops, want %d", got, want)
+	}
+	if err := constrained.Conforms(g.CDG()); err != nil {
+		t.Fatal(err)
+	}
+	if err := constrained.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	_ = free
+}
+
+func TestHopBudgetInfeasibleErrors(t *testing.T) {
+	m := topology.NewMesh(3, 3)
+	flows := []flowgraph.Flow{
+		{ID: 0, Name: "f", Src: m.NodeAt(0, 0), Dst: m.NodeAt(2, 2), Demand: 1},
+	}
+	dag := cdg.TurnBreaker{Rule: cdg.XYOrder}.Break(cdg.NewFull(m, 1))
+	g := flowgraph.New(dag, flows, 100)
+	// Budget below the minimal hop count (4) is impossible.
+	_, err := DijkstraSelector{HopBudgets: map[int]int{0: 3}}.Select(g)
+	if err == nil {
+		t.Fatal("infeasible budget accepted")
+	}
+}
+
+func TestBoundedShortestPathMatchesUnbounded(t *testing.T) {
+	m := topology.NewMesh(4, 4)
+	flows := []flowgraph.Flow{
+		{ID: 0, Name: "f", Src: m.NodeAt(0, 0), Dst: m.NodeAt(3, 3), Demand: 1},
+	}
+	dag := cdg.TurnBreaker{Rule: cdg.WestFirst}.Break(cdg.NewFull(m, 1))
+	g := flowgraph.New(dag, flows, 100)
+	// With a generous budget the bounded search must find a path of the
+	// same cost as the unbounded one.
+	weight := func(v flowgraph.VertexID) float64 { return 1 }
+	a, err := shortestPathGA(g, 0, weight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := shortestPathGABounded(g, 0, 20, weight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Errorf("unbounded %d hops, bounded %d hops under unit weights", len(a), len(b))
+	}
+}
+
+func TestMILPHopSlackOverride(t *testing.T) {
+	m := topology.NewMesh(4, 4)
+	flows := transposeFlows(m, 25)
+	dag := cdg.TurnBreaker{Rule: cdg.NegativeFirstRule(topology.West, topology.North)}.
+		Break(cdg.NewFull(m, 1))
+	g := flowgraph.New(dag, flows, 100)
+	over := map[int]int{0: 0, 1: 0}
+	sel := MILPSelector{HopSlack: 2, HopSlackOverride: over, MaxPathsPerFlow: 32, Refinements: 2}
+	set, err := sel.Select(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 1} {
+		want := m.MinimalHops(flows[i].Src, flows[i].Dst)
+		if set.Routes[i].Hops() != want {
+			t.Errorf("override flow %d routed in %d hops, want minimal %d",
+				i, set.Routes[i].Hops(), want)
+		}
+	}
+}

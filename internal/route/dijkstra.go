@@ -1,0 +1,211 @@
+package route
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cdg"
+	"repro/internal/flowgraph"
+	"repro/internal/topology"
+)
+
+// FlowOrder selects the order in which the sequential Dijkstra selector
+// routes flows. The thesis notes routes can be determined in different
+// orders (§3.7); routing heavy flows first is the natural greedy choice.
+type FlowOrder int
+
+// Flow orderings.
+const (
+	// ByDemandDesc routes the largest demands first (default).
+	ByDemandDesc FlowOrder = iota
+	// AsGiven routes flows in their flow-set order.
+	AsGiven
+)
+
+// DijkstraSelector is BSOR_Dijkstra (thesis §3.6): flows are routed one at
+// a time along a minimum-weight path of the flow network, where the weight
+// of a link is the reciprocal of its residual capacity after placing the
+// flow, w(e) = 1 / (a(e) - d_i + M) — the CSPF-style metric of Walkowiak.
+// Larger M biases the selection toward fewer hops, providing the latency
+// control knob the thesis describes; links already assigned many flows on
+// a virtual channel are lightly penalized to spread flows across VCs.
+type DijkstraSelector struct {
+	// M keeps weights positive and trades load balance against path
+	// length; zero means the channel capacity of the flow network.
+	M float64
+	// VCBias is the extra weight per flow already occupying a (channel,
+	// VC); zero means a small default derived from M.
+	VCBias float64
+	// Order is the flow routing order.
+	Order FlowOrder
+	// Perturb, when non-nil, is added to every edge weight evaluation; the
+	// MILP selector uses it to diversify candidate paths. It receives the
+	// channel vertex being priced.
+	Perturb func(v cdg.VertexID) float64
+	// HopBudgets caps the route length (in channels) of specific flows,
+	// keyed by flow index. A budget equal to the flow's minimal hop count
+	// forces a latency-critical minimal route (§7.2). Absent flows are
+	// unbounded.
+	HopBudgets map[int]int
+}
+
+// Name implements Selector.
+func (d DijkstraSelector) Name() string { return "BSOR-Dijkstra" }
+
+// Select implements Selector.
+func (d DijkstraSelector) Select(g *flowgraph.Graph) (*Set, error) {
+	flows := g.Flows()
+	residual := make([]float64, g.Topology().NumChannels())
+	for ch := range residual {
+		residual[ch] = g.Capacity(topology.ChannelID(ch))
+	}
+	vcUse := make([]int, g.CDG().NumVertices())
+
+	order := make([]int, len(flows))
+	for i := range order {
+		order[i] = i
+	}
+	if d.Order == ByDemandDesc {
+		sort.SliceStable(order, func(a, b int) bool {
+			return flows[order[a]].Demand > flows[order[b]].Demand
+		})
+	}
+
+	routes := make([]Route, len(flows))
+	for _, i := range order {
+		p, err := d.shortestPath(g, i, residual, vcUse)
+		if err != nil {
+			return nil, err
+		}
+		routes[i] = routeFromPath(g, i, p)
+		for _, v := range p {
+			ch, _ := g.CDG().ChannelVC(v)
+			residual[ch] -= flows[i].Demand
+			vcUse[v]++
+		}
+	}
+	return &Set{Topo: g.Topology(), Routes: routes}, nil
+}
+
+// shortestPath builds the residual-capacity weight function of §3.6 and
+// delegates to the generic G_A Dijkstra.
+func (d DijkstraSelector) shortestPath(g *flowgraph.Graph, i int,
+	residual []float64, vcUse []int) (flowgraph.Path, error) {
+
+	m := d.M
+	if m == 0 {
+		// Comparable to the maximum link bandwidth, per the thesis.
+		for ch := 0; ch < g.Topology().NumChannels(); ch++ {
+			if c := g.Capacity(topology.ChannelID(ch)); c > m {
+				m = c
+			}
+		}
+		if m == 0 {
+			m = 1
+		}
+	}
+	vcBias := d.VCBias
+	if vcBias == 0 {
+		vcBias = 1 / (m * 1e4)
+	}
+	demand := g.Flows()[i].Demand
+
+	// weight of entering a channel vertex v.
+	vertexWeight := func(v flowgraph.VertexID) float64 {
+		ch, _ := g.ChannelVC(v)
+		denom := residual[ch] - demand + m
+		if denom < 1e-9 {
+			denom = 1e-9 // demands far beyond M; effectively infinite weight
+		}
+		w := 1/denom + vcBias*float64(vcUse[v])
+		if d.Perturb != nil {
+			w += d.Perturb(cdg.VertexID(v))
+		}
+		return w
+	}
+	if budget, ok := d.HopBudgets[i]; ok {
+		return shortestPathGABounded(g, i, budget, vertexWeight)
+	}
+	return shortestPathGA(g, i, vertexWeight)
+}
+
+// shortestPathGA runs Dijkstra from flow i's source terminal to its sink
+// terminal over G_A. The weight of an edge is the weight of the channel
+// vertex it enters (edges into the sink terminal weigh zero), matching the
+// thesis' convention that capacities live on links, which are vertices of
+// G_A.
+func shortestPathGA(g *flowgraph.Graph, i int,
+	vertexWeight func(v flowgraph.VertexID) float64) (flowgraph.Path, error) {
+
+	n := g.NumVertices()
+	dist := make([]float64, n)
+	prev := make([]flowgraph.VertexID, n)
+	done := make([]bool, n)
+	for v := range dist {
+		dist[v] = math.Inf(1)
+		prev[v] = -1
+	}
+	src, snk := g.SrcTerminal(i), g.SinkTerminal(i)
+	dist[src] = 0
+	pq := &vertexHeap{items: []heapItem{{v: src, d: 0}}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(heapItem)
+		if done[it.v] {
+			continue
+		}
+		if it.v == snk {
+			break
+		}
+		done[it.v] = true
+		for _, w := range g.Out(it.v) {
+			if g.IsTerminal(w) && w != snk {
+				continue // another flow's terminal
+			}
+			var edgeW float64
+			if w != snk {
+				edgeW = vertexWeight(w)
+			}
+			nd := it.d + edgeW
+			if nd < dist[w] {
+				dist[w] = nd
+				prev[w] = it.v
+				heap.Push(pq, heapItem{v: w, d: nd})
+			}
+		}
+	}
+	if math.IsInf(dist[snk], 1) {
+		f := g.Flows()[i]
+		return nil, fmt.Errorf("route: flow %s (%s -> %s) unreachable in this acyclic CDG",
+			f.Name, g.Topology().NodeName(f.Src), g.Topology().NodeName(f.Dst))
+	}
+	var p flowgraph.Path
+	for v := prev[snk]; v != src && v != -1; v = prev[v] {
+		p = append(p, cdg.VertexID(v))
+	}
+	// Reverse into source-to-sink order.
+	for a, b := 0, len(p)-1; a < b; a, b = a+1, b-1 {
+		p[a], p[b] = p[b], p[a]
+	}
+	return p, nil
+}
+
+type heapItem struct {
+	v flowgraph.VertexID
+	d float64
+}
+
+type vertexHeap struct{ items []heapItem }
+
+func (h *vertexHeap) Len() int           { return len(h.items) }
+func (h *vertexHeap) Less(i, j int) bool { return h.items[i].d < h.items[j].d }
+func (h *vertexHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *vertexHeap) Push(x interface{}) { h.items = append(h.items, x.(heapItem)) }
+func (h *vertexHeap) Pop() (x interface{}) {
+	old := h.items
+	n := len(old)
+	x = old[n-1]
+	h.items = old[:n-1]
+	return x
+}

@@ -1,0 +1,255 @@
+// Package routerconfig compiles BSOR route sets into the two table-based
+// router configurations of thesis chapter 4: source routing (the route
+// prepended to each packet as routing flits, Fig. 4-2a) and node-table
+// routing (per-node tables of (output port, next index) entries chained by
+// an index field carried in the packet, Fig. 4-2b).
+//
+// The thesis' hardware-cost argument is quantitative — an entry needs two
+// bits for the output port of a 2-D mesh plus eight bits for the next
+// table index, so a 256-entry table is a couple of kilobytes — and this
+// package reproduces those encodings bit-for-bit so the cost claims can be
+// checked (see SizeReport).
+package routerconfig
+
+import (
+	"fmt"
+
+	"repro/internal/route"
+	"repro/internal/topology"
+)
+
+// Port is the 2-bit output-port encoding of a route hop in a 2-D mesh.
+type Port uint8
+
+// Output ports. The local ejection port needs no table entry: a packet
+// ejects when its route ends (source routing) or its table entry is the
+// eject marker (node-table routing).
+const (
+	PortEast Port = iota
+	PortWest
+	PortNorth
+	PortSouth
+)
+
+func portOf(dir topology.Direction) Port {
+	switch dir {
+	case topology.East:
+		return PortEast
+	case topology.West:
+		return PortWest
+	case topology.North:
+		return PortNorth
+	case topology.South:
+		return PortSouth
+	}
+	panic(fmt.Sprintf("routerconfig: bad direction %v", dir))
+}
+
+// DirectionOf is the inverse of the port encoding.
+func DirectionOf(p Port) topology.Direction {
+	switch p {
+	case PortEast:
+		return topology.East
+	case PortWest:
+		return topology.West
+	case PortNorth:
+		return topology.North
+	case PortSouth:
+		return topology.South
+	}
+	panic(fmt.Sprintf("routerconfig: bad port %d", p))
+}
+
+// SourceRoute is the routing-flit content prepended to every packet of a
+// flow under source routing: one (port, vc) pair per hop, consumed
+// front-to-back by the routers along the path.
+type SourceRoute struct {
+	Flow  int
+	Hops  []Port
+	VCs   []uint8
+	Start topology.NodeID
+}
+
+// CompileSourceRoutes encodes every route of the set.
+func CompileSourceRoutes(m *topology.Mesh, set *route.Set) []SourceRoute {
+	out := make([]SourceRoute, len(set.Routes))
+	for i, r := range set.Routes {
+		sr := SourceRoute{Flow: i, Start: r.Flow.Src}
+		for h, ch := range r.Channels {
+			sr.Hops = append(sr.Hops, portOf(m.Channel(ch).Dir))
+			sr.VCs = append(sr.VCs, uint8(r.VCs[h]))
+		}
+		out[i] = sr
+	}
+	return out
+}
+
+// Bits returns the routing-flit overhead of a source route: 2 bits of
+// port plus ceil(log2(vcs)) bits of VC per hop.
+func (sr SourceRoute) Bits(vcs int) int {
+	vcBits := 0
+	for 1<<vcBits < vcs {
+		vcBits++
+	}
+	return len(sr.Hops) * (2 + vcBits)
+}
+
+// Walk replays a source route on the mesh and returns the node sequence,
+// validating each hop exists. It is the software analogue of the routers
+// consuming routing flits.
+func (sr SourceRoute) Walk(m *topology.Mesh) ([]topology.NodeID, error) {
+	nodes := []topology.NodeID{sr.Start}
+	at := sr.Start
+	for _, p := range sr.Hops {
+		next := m.Neighbor(at, DirectionOf(p))
+		if next == topology.InvalidNode {
+			return nil, fmt.Errorf("routerconfig: hop %v off the mesh edge at %s",
+				DirectionOf(p), m.NodeName(at))
+		}
+		at = next
+		nodes = append(nodes, at)
+	}
+	return nodes, nil
+}
+
+// NodeEntry is one row of a node routing table: the output port, the
+// statically allocated VC at the next hop, and the index the packet
+// carries to the next node's table. Eject marks route termination.
+type NodeEntry struct {
+	Port      Port
+	VC        uint8
+	NextIndex uint8
+	Eject     bool
+}
+
+// NodeTables is the node-table routing image for a whole network: one
+// table per node, plus the initial index each flow's packets carry when
+// injected at the source.
+type NodeTables struct {
+	// Tables[node] is the entry list of that node's routing table.
+	Tables [][]NodeEntry
+	// StartIndex[flow] is the index field of freshly injected packets.
+	StartIndex []uint8
+	// StartNode[flow] is the injection node (the flow's source).
+	StartNode []topology.NodeID
+}
+
+// maxTableEntries mirrors the thesis' example budget: an 8-bit index
+// field limits each node's table to 256 entries.
+const maxTableEntries = 256
+
+// CompileNodeTables builds the per-node routing tables for a route set,
+// allocating table indices greedily per node. It fails if any node needs
+// more than 256 entries, the restriction the thesis notes table-based
+// routing imposes on flow counts.
+func CompileNodeTables(m *topology.Mesh, set *route.Set) (*NodeTables, error) {
+	nt := &NodeTables{
+		Tables:     make([][]NodeEntry, m.NumNodes()),
+		StartIndex: make([]uint8, len(set.Routes)),
+		StartNode:  make([]topology.NodeID, len(set.Routes)),
+	}
+	alloc := func(node topology.NodeID, e NodeEntry) (uint8, error) {
+		t := nt.Tables[node]
+		if len(t) >= maxTableEntries {
+			return 0, fmt.Errorf("routerconfig: node %s exceeds %d table entries",
+				m.NodeName(node), maxTableEntries)
+		}
+		nt.Tables[node] = append(t, e)
+		return uint8(len(t)), nil
+	}
+	for i, r := range set.Routes {
+		nt.StartNode[i] = r.Flow.Src
+		// Allocate entries back to front so each entry knows its
+		// successor's index.
+		nextIdx := uint8(0)
+		for h := len(r.Channels) - 1; h >= 0; h-- {
+			ch := m.Channel(r.Channels[h])
+			e := NodeEntry{
+				Port:      portOf(ch.Dir),
+				VC:        uint8(r.VCs[h]),
+				NextIndex: nextIdx,
+				Eject:     h == len(r.Channels)-1,
+			}
+			idx, err := alloc(ch.Src, e)
+			if err != nil {
+				return nil, err
+			}
+			nextIdx = idx
+		}
+		nt.StartIndex[i] = nextIdx
+	}
+	return nt, nil
+}
+
+// Walk replays flow i's packets through the node tables, returning the
+// node sequence — the software analogue of the index-chained lookups of
+// Fig. 4-2(b).
+func (nt *NodeTables) Walk(m *topology.Mesh, flow int) ([]topology.NodeID, error) {
+	at := nt.StartNode[flow]
+	idx := nt.StartIndex[flow]
+	nodes := []topology.NodeID{at}
+	for steps := 0; ; steps++ {
+		if steps > m.NumNodes()*4 {
+			return nil, fmt.Errorf("routerconfig: flow %d walk did not terminate", flow)
+		}
+		t := nt.Tables[at]
+		if int(idx) >= len(t) {
+			return nil, fmt.Errorf("routerconfig: flow %d index %d out of range at %s",
+				flow, idx, m.NodeName(at))
+		}
+		e := t[idx]
+		next := m.Neighbor(at, DirectionOf(e.Port))
+		if next == topology.InvalidNode {
+			return nil, fmt.Errorf("routerconfig: flow %d routed off the mesh at %s",
+				flow, m.NodeName(at))
+		}
+		nodes = append(nodes, next)
+		if e.Eject {
+			return nodes, nil
+		}
+		at = next
+		idx = e.NextIndex
+	}
+}
+
+// SizeReport quantifies the hardware cost of both configurations,
+// reproducing the thesis' table-size arithmetic.
+type SizeReport struct {
+	// SourceRouteBitsTotal is the total routing-flit overhead across all
+	// flows; SourceRouteBitsMax the largest single packet header.
+	SourceRouteBitsTotal int
+	SourceRouteBitsMax   int
+	// NodeTableEntriesMax is the deepest node table; NodeTableBits the
+	// total bits across all node tables at (2 port + vcBits + 8 index +
+	// 1 eject) per entry.
+	NodeTableEntriesMax int
+	NodeTableBits       int
+}
+
+// Sizes computes the SizeReport of a route set under both encodings.
+func Sizes(m *topology.Mesh, set *route.Set, vcs int) (*SizeReport, error) {
+	rep := &SizeReport{}
+	for _, sr := range CompileSourceRoutes(m, set) {
+		b := sr.Bits(vcs)
+		rep.SourceRouteBitsTotal += b
+		if b > rep.SourceRouteBitsMax {
+			rep.SourceRouteBitsMax = b
+		}
+	}
+	nt, err := CompileNodeTables(m, set)
+	if err != nil {
+		return nil, err
+	}
+	vcBits := 0
+	for 1<<vcBits < vcs {
+		vcBits++
+	}
+	entryBits := 2 + vcBits + 8 + 1
+	for _, t := range nt.Tables {
+		if len(t) > rep.NodeTableEntriesMax {
+			rep.NodeTableEntriesMax = len(t)
+		}
+		rep.NodeTableBits += len(t) * entryBits
+	}
+	return rep, nil
+}

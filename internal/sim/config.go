@@ -1,0 +1,145 @@
+// Package sim is a cycle-accurate simulator for wormhole-switched
+// virtual-channel networks-on-chip, modeling the router microarchitecture
+// of thesis chapter 4: table-based routing (the one modification BSOR
+// requires over a standard VC router), per-input-port virtual channels
+// with credit-based flow control, and either static or dynamic VC
+// allocation.
+//
+// The published simulation parameters are the defaults: 16-flit VC
+// buffers, one cycle per hop, 20k warmup + 100k measured cycles, and
+// resource-to-switch links four times the bandwidth of switch-to-switch
+// links (modeled as up to four flit injections/ejections per node per
+// cycle).
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/route"
+	"repro/internal/topology"
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Mesh is the network. Required.
+	Mesh *topology.Mesh
+	// Routes assigns a static route (and, for static VC allocation, the
+	// per-hop VCs) to every flow. Required.
+	Routes *route.Set
+	// VCs is the number of virtual channels per input port (1, 2, 4, or 8
+	// in the thesis' experiments). Default 2.
+	VCs int
+	// BufDepth is the flit capacity of each VC buffer. Default 16.
+	BufDepth int
+	// PacketLen is the number of flits per packet. Default 8.
+	PacketLen int
+	// DynamicVC selects dynamic VC allocation: the route's static VC
+	// assignment is ignored and any free VC at the next hop is taken.
+	// Only safe when the routes are deadlock free under arbitrary VC
+	// mixing (e.g. dimension-order routes); the BSOR route sets use
+	// static allocation (§4.2.2).
+	DynamicVC bool
+	// OfferedRate is the total offered injection rate for the whole
+	// network in packets per cycle, distributed over flows proportionally
+	// to their bandwidth demands.
+	OfferedRate float64
+	// WarmupCycles run before statistics are collected. Default 20000.
+	WarmupCycles int64
+	// MeasureCycles are simulated after warmup. Default 100000.
+	MeasureCycles int64
+	// LocalBandwidth is the number of flits per cycle a node may inject
+	// into (and eject from) its router, modeling the 4x resource-to-
+	// switch links. Default 4.
+	LocalBandwidth int
+	// PipelineStages models the router pipeline depth for header flits
+	// (Fig. 4-1: RC, VA, SA, ST). The default 1 is the thesis' published
+	// 1-cycle-per-hop configuration; 4 adds three cycles of per-hop
+	// header latency, as in an unbypassed four-stage router. Body flits
+	// stream behind the header unaffected.
+	PipelineStages int
+	// Seed drives packet generation.
+	Seed int64
+	// RateVariation, when non-nil, supplies a per-flow multiplicative
+	// rate factor each cycle (the §5.3 Markov-modulated variation).
+	// It is called once per flow per cycle with the flow index and must
+	// return the current demand in the same unit as the flow demands.
+	RateVariation func(flow int) float64
+	// DeadlockCycles is the watchdog: if no flit moves for this many
+	// consecutive cycles while packets are in flight, the run aborts and
+	// Result.Deadlocked is set. Default 10000.
+	DeadlockCycles int64
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Mesh == nil {
+		return c, fmt.Errorf("sim: Config.Mesh is required")
+	}
+	if c.Routes == nil {
+		return c, fmt.Errorf("sim: Config.Routes is required")
+	}
+	if c.VCs == 0 {
+		c.VCs = 2
+	}
+	if c.BufDepth == 0 {
+		c.BufDepth = 16
+	}
+	if c.PacketLen == 0 {
+		c.PacketLen = 8
+	}
+	if c.WarmupCycles == 0 {
+		c.WarmupCycles = 20000
+	}
+	if c.MeasureCycles == 0 {
+		c.MeasureCycles = 100000
+	}
+	if c.LocalBandwidth == 0 {
+		c.LocalBandwidth = 4
+	}
+	if c.PipelineStages == 0 {
+		c.PipelineStages = 1
+	}
+	if c.PipelineStages < 1 {
+		return c, fmt.Errorf("sim: PipelineStages must be >= 1")
+	}
+	if c.DeadlockCycles == 0 {
+		c.DeadlockCycles = 10000
+	}
+	if c.OfferedRate < 0 {
+		return c, fmt.Errorf("sim: negative offered rate")
+	}
+	if err := c.Routes.Validate(c.VCs); err != nil {
+		return c, fmt.Errorf("sim: %w", err)
+	}
+	return c, nil
+}
+
+// Result summarizes one simulation run.
+type Result struct {
+	// Cycles actually simulated (warmup + measurement, or fewer if the
+	// deadlock watchdog fired).
+	Cycles int64
+	// PacketsInjected / PacketsDelivered during the measurement window.
+	PacketsInjected  int64
+	PacketsDelivered int64
+	// Throughput is delivered packets per cycle over the measurement
+	// window (the thesis' "average delivery rate").
+	Throughput float64
+	// AvgLatency is the mean network latency in cycles per delivered
+	// packet: from the header flit entering the router at the source to
+	// the tail flit arriving at the destination (thesis §6.1).
+	AvgLatency float64
+	// AvgTotalLatency additionally includes source-queue waiting.
+	AvgTotalLatency float64
+	// PerFlowDelivered counts delivered packets per flow.
+	PerFlowDelivered []int64
+	// PerFlowLatency is the mean network latency per flow (0 for flows
+	// that delivered nothing).
+	PerFlowLatency []float64
+	// LatencyP50/P95/P99 are network-latency percentile upper bounds from
+	// a 256-bucket histogram.
+	LatencyP50 float64
+	LatencyP95 float64
+	LatencyP99 float64
+	// Deadlocked is set when the watchdog aborted the run.
+	Deadlocked bool
+}

@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/flowgraph"
+	"repro/internal/topology"
+)
+
+func TestPipelineStagesIncreaseLatency(t *testing.T) {
+	m := topology.NewMesh(8, 1)
+	flows := []flowgraph.Flow{{ID: 0, Name: "f", Src: m.NodeAt(0, 0), Dst: m.NodeAt(7, 0), Demand: 1}}
+	lat := map[int]float64{}
+	for _, stages := range []int{1, 4} {
+		res := run(t, Config{
+			Mesh: m, Routes: xyRoutes(t, m, flows),
+			VCs: 1, PacketLen: 4, OfferedRate: 0.005, PipelineStages: stages,
+			WarmupCycles: 500, MeasureCycles: 30000, Seed: 1,
+		})
+		if res.PacketsDelivered == 0 {
+			t.Fatalf("stages=%d: no delivery", stages)
+		}
+		lat[stages] = res.AvgLatency
+	}
+	// A 4-stage router adds 3 cycles of header latency per hop (7 hops +
+	// ejection allocation): roughly 21-24 extra cycles.
+	extra := lat[4] - lat[1]
+	if extra < 15 || extra > 30 {
+		t.Errorf("pipeline latency delta = %.1f cycles (lat1=%.1f lat4=%.1f), want ~21-24",
+			extra, lat[1], lat[4])
+	}
+}
+
+func TestPipelineStagesStillDeadlockFree(t *testing.T) {
+	m := topology.NewMesh(4, 4)
+	var flows []flowgraph.Flow
+	for i := 0; i < 8; i++ {
+		flows = append(flows, flowgraph.Flow{
+			ID: i, Name: "f", Src: topology.NodeID(i), Dst: topology.NodeID(15 - i), Demand: 10,
+		})
+	}
+	res := run(t, Config{
+		Mesh: m, Routes: xyRoutes(t, m, flows), VCs: 2, PipelineStages: 4,
+		OfferedRate: 4, WarmupCycles: 2000, MeasureCycles: 15000, Seed: 2,
+	})
+	if res.Deadlocked {
+		t.Fatal("pipelined router deadlocked on XY routes")
+	}
+	if res.PacketsDelivered == 0 {
+		t.Fatal("no delivery")
+	}
+}
+
+func TestPipelineStagesValidation(t *testing.T) {
+	m := topology.NewMesh(2, 2)
+	flows := []flowgraph.Flow{{ID: 0, Name: "f", Src: 0, Dst: 3, Demand: 1}}
+	_, err := New(Config{
+		Mesh: m, Routes: xyRoutes(t, m, flows), PipelineStages: -2,
+	})
+	if err == nil {
+		t.Fatal("negative pipeline depth accepted")
+	}
+}

@@ -1,0 +1,493 @@
+package sim
+
+import (
+	"math/rand"
+
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// packet metadata; flits reference packets by index.
+type packet struct {
+	flow    int32
+	createT int64 // cycle the packet entered its source queue
+	enterT  int64 // cycle the header flit entered the injection buffer
+	doneT   int64
+}
+
+type flitRef struct {
+	pkt int32
+	idx int16 // 0 is the header; PacketLen-1 is the tail
+}
+
+// vcBuf is one virtual-channel buffer at the downstream end of a channel
+// (or at a node's injection port).
+type vcBuf struct {
+	buf    []flitRef
+	owner  int32 // packet index currently allocated this VC, or -1
+	active bool  // head packet has been routed and VC-allocated
+	outCh  topology.ChannelID
+	outVC  int8
+	eject  bool
+	// readyAt is the first cycle the routed header may traverse the
+	// switch, modeling RC/VA/SA pipeline depth.
+	readyAt int64
+}
+
+func (b *vcBuf) reset() {
+	b.owner = -1
+	b.active = false
+}
+
+// Simulator holds the full network state for one run.
+type Simulator struct {
+	cfg   Config
+	mesh  *topology.Mesh
+	table *routingTable
+	rng   *rand.Rand
+
+	packets []packet
+
+	// chanVCs[ch][vc] is the input buffer at the downstream end of ch.
+	chanVCs [][]vcBuf
+	// injVCs[node][vc] is the injection-port buffer of node.
+	injVCs [][]vcBuf
+
+	// Per-flow injection state.
+	injectProb []float64 // packets/cycle at OfferedRate (base demands)
+	demandSum  float64
+	srcQueue   [][]int32 // queued packet indices per flow
+	// transfer[flow] is the packet currently streaming into an injection
+	// VC: remaining flit index, and which buffer.
+	transfer []injTransfer
+
+	// Round-robin pointers.
+	rrOut  []int // per channel: switch-allocation priority
+	rrEjct []int // per node
+	rrInj  []int // per node: flow service order
+
+	// nodeFlows[node] lists flow indices sourced at node.
+	nodeFlows [][]int
+
+	// staged deliveries applied at cycle end, with per-buffer counts for
+	// O(1) credit accounting.
+	staged     []stagedFlit
+	stagedChan [][]int8 // [channel][vc]
+	stagedInj  [][]int8 // [node][vc]
+	scratch    []*vcBuf // reusable candidate list
+
+	cycle     int64
+	lastMove  int64
+	inFlight  int64 // flits currently inside buffers or transfers
+	delivered int64
+
+	// measurement accumulators
+	mInjected    int64
+	mDelivered   int64
+	mLatencySum  int64
+	mTotalLatSum int64
+	perFlow      []int64
+	perFlowLat   []stats.Summary
+	latencyHist  *stats.Histogram
+}
+
+type injTransfer struct {
+	pkt     int32 // -1 when idle
+	nextIdx int16
+	vc      int8
+}
+
+type stagedFlit struct {
+	f  flitRef
+	ch topology.ChannelID // destination buffer; InvalidChannel for injection
+	to topology.NodeID    // used when ch is InvalidChannel
+	vc int8
+}
+
+// New builds a simulator; Run executes it. A Simulator is single-use.
+func New(cfg Config) (*Simulator, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := buildTable(cfg.Mesh, cfg.Routes)
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		cfg:   cfg,
+		mesh:  cfg.Mesh,
+		table: tbl,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+	nc := s.mesh.NumChannels()
+	nn := s.mesh.NumNodes()
+	s.chanVCs = make([][]vcBuf, nc)
+	for ch := range s.chanVCs {
+		s.chanVCs[ch] = make([]vcBuf, cfg.VCs)
+		for vc := range s.chanVCs[ch] {
+			s.chanVCs[ch][vc].reset()
+		}
+	}
+	s.injVCs = make([][]vcBuf, nn)
+	for n := range s.injVCs {
+		s.injVCs[n] = make([]vcBuf, cfg.VCs)
+		for vc := range s.injVCs[n] {
+			s.injVCs[n][vc].reset()
+		}
+	}
+	flows := cfg.Routes.Routes
+	s.injectProb = make([]float64, len(flows))
+	s.srcQueue = make([][]int32, len(flows))
+	s.transfer = make([]injTransfer, len(flows))
+	s.perFlow = make([]int64, len(flows))
+	s.nodeFlows = make([][]int, nn)
+	for i, r := range flows {
+		s.demandSum += r.Flow.Demand
+		s.transfer[i].pkt = -1
+		s.nodeFlows[r.Flow.Src] = append(s.nodeFlows[r.Flow.Src], i)
+	}
+	for i, r := range flows {
+		if s.demandSum > 0 {
+			s.injectProb[i] = cfg.OfferedRate * r.Flow.Demand / s.demandSum
+		}
+	}
+	s.rrOut = make([]int, nc)
+	s.rrEjct = make([]int, nn)
+	s.rrInj = make([]int, nn)
+	s.stagedChan = make([][]int8, nc)
+	for ch := range s.stagedChan {
+		s.stagedChan[ch] = make([]int8, cfg.VCs)
+	}
+	s.stagedInj = make([][]int8, nn)
+	for n := range s.stagedInj {
+		s.stagedInj[n] = make([]int8, cfg.VCs)
+	}
+	s.perFlowLat = make([]stats.Summary, len(flows))
+	s.latencyHist = stats.NewHistogram(0, 4096, 256)
+	return s, nil
+}
+
+// Run simulates warmup plus measurement and returns the result.
+func (s *Simulator) Run() (*Result, error) {
+	total := s.cfg.WarmupCycles + s.cfg.MeasureCycles
+	deadlocked := false
+	for s.cycle = 0; s.cycle < total; s.cycle++ {
+		s.generate()
+		s.inject()
+		s.routeAndAllocate()
+		s.switchAllocateAndTraverse()
+		s.applyStaged()
+		if s.inFlight > 0 && s.cycle-s.lastMove > s.cfg.DeadlockCycles {
+			deadlocked = true
+			break
+		}
+	}
+	res := &Result{
+		Cycles:           s.cycle,
+		PacketsInjected:  s.mInjected,
+		PacketsDelivered: s.mDelivered,
+		PerFlowDelivered: s.perFlow,
+		Deadlocked:       deadlocked,
+	}
+	if s.cfg.MeasureCycles > 0 {
+		res.Throughput = float64(s.mDelivered) / float64(s.cfg.MeasureCycles)
+	}
+	if s.mDelivered > 0 {
+		res.AvgLatency = float64(s.mLatencySum) / float64(s.mDelivered)
+		res.AvgTotalLatency = float64(s.mTotalLatSum) / float64(s.mDelivered)
+		res.LatencyP50 = s.latencyHist.Percentile(50)
+		res.LatencyP95 = s.latencyHist.Percentile(95)
+		res.LatencyP99 = s.latencyHist.Percentile(99)
+	}
+	res.PerFlowLatency = make([]float64, len(s.perFlowLat))
+	for i := range s.perFlowLat {
+		res.PerFlowLatency[i] = s.perFlowLat[i].Mean()
+	}
+	return res, nil
+}
+
+// maxSourceQueue bounds open-loop generation so saturated runs stay in
+// memory; generation pauses while a flow's queue is full.
+const maxSourceQueue = 1 << 13
+
+// generate creates new packets per flow via a Bernoulli process at the
+// flow's share of the offered rate.
+func (s *Simulator) generate() {
+	for i := range s.injectProb {
+		p := s.injectProb[i]
+		if s.cfg.RateVariation != nil && s.demandSum > 0 {
+			p = s.cfg.OfferedRate * s.cfg.RateVariation(i) / s.demandSum
+		}
+		if p <= 0 || len(s.srcQueue[i]) >= maxSourceQueue {
+			continue
+		}
+		if p < 1 && s.rng.Float64() >= p {
+			continue
+		}
+		s.packets = append(s.packets, packet{flow: int32(i), createT: s.cycle, enterT: -1})
+		s.srcQueue[i] = append(s.srcQueue[i], int32(len(s.packets)-1))
+		if s.cycle >= s.cfg.WarmupCycles {
+			s.mInjected++
+		}
+	}
+}
+
+// inject moves flits from source queues into injection-port VC buffers,
+// up to LocalBandwidth flits per node per cycle.
+func (s *Simulator) inject() {
+	for n := 0; n < s.mesh.NumNodes(); n++ {
+		flowsHere := s.nodeFlows[n]
+		if len(flowsHere) == 0 {
+			continue
+		}
+		budget := s.cfg.LocalBandwidth
+		// Start new transfers: queued packets claim free injection VCs.
+		for k := 0; k < len(flowsHere); k++ {
+			fi := flowsHere[(s.rrInj[n]+k)%len(flowsHere)]
+			if s.transfer[fi].pkt >= 0 || len(s.srcQueue[fi]) == 0 {
+				continue
+			}
+			vc := s.freeVC(s.injVCs[n])
+			if vc < 0 {
+				continue
+			}
+			pkt := s.srcQueue[fi][0]
+			s.srcQueue[fi] = s.srcQueue[fi][1:]
+			s.injVCs[n][vc].owner = pkt
+			s.transfer[fi] = injTransfer{pkt: pkt, nextIdx: 0, vc: int8(vc)}
+		}
+		// Stream flits of active transfers into their buffers.
+		for k := 0; k < len(flowsHere) && budget > 0; k++ {
+			fi := flowsHere[(s.rrInj[n]+k)%len(flowsHere)]
+			tr := &s.transfer[fi]
+			if tr.pkt < 0 {
+				continue
+			}
+			buf := &s.injVCs[n][tr.vc]
+			for budget > 0 && tr.pkt >= 0 && len(buf.buf)+s.stagedInto(topology.InvalidChannel, topology.NodeID(n), tr.vc) < s.cfg.BufDepth {
+				if tr.nextIdx == 0 {
+					s.packets[tr.pkt].enterT = s.cycle
+				}
+				s.lastMove = s.cycle
+				s.stage(stagedFlit{
+					f:  flitRef{pkt: tr.pkt, idx: tr.nextIdx},
+					ch: topology.InvalidChannel, to: topology.NodeID(n), vc: tr.vc,
+				})
+				tr.nextIdx++
+				budget--
+				if int(tr.nextIdx) == s.cfg.PacketLen {
+					tr.pkt = -1 // transfer complete; VC stays owned until tail leaves
+				}
+			}
+		}
+		s.rrInj[n] = (s.rrInj[n] + 1) % len(flowsHere)
+	}
+}
+
+// freeVC returns the index of an unowned VC in bufs, or -1.
+func (s *Simulator) freeVC(bufs []vcBuf) int {
+	for vc := range bufs {
+		if bufs[vc].owner < 0 {
+			return vc
+		}
+	}
+	return -1
+}
+
+// routeAndAllocate performs the RC and VA stages for every input VC whose
+// head flit is a header not yet routed: look up the next hop in the
+// routing table and claim a VC there (the statically assigned one, or any
+// free one under dynamic allocation).
+func (s *Simulator) routeAndAllocate() {
+	for ch := range s.chanVCs {
+		for vc := range s.chanVCs[ch] {
+			s.allocateVC(&s.chanVCs[ch][vc], topology.ChannelID(ch))
+		}
+	}
+	for n := range s.injVCs {
+		for vc := range s.injVCs[n] {
+			s.allocateVC(&s.injVCs[n][vc], topology.InvalidChannel)
+		}
+	}
+}
+
+func (s *Simulator) allocateVC(b *vcBuf, arrival topology.ChannelID) {
+	if b.active || len(b.buf) == 0 {
+		return
+	}
+	head := b.buf[0]
+	if head.idx != 0 {
+		// Body flit at buffer head while inactive can only happen after a
+		// tail release bug; guard anyway.
+		return
+	}
+	entry := s.table.lookup(int(s.packets[head.pkt].flow), arrival)
+	if entry.next == topology.InvalidChannel {
+		b.active, b.eject = true, true
+		b.readyAt = s.cycle + int64(s.cfg.PipelineStages) - 1
+		return
+	}
+	down := s.chanVCs[entry.next]
+	vc := -1
+	if s.cfg.DynamicVC {
+		vc = s.freeVC(down)
+	} else if down[entry.vc].owner < 0 {
+		vc = entry.vc
+	}
+	if vc < 0 {
+		return // stall in VA; retry next cycle
+	}
+	down[vc].owner = head.pkt
+	b.active, b.eject = true, false
+	b.outCh, b.outVC = entry.next, int8(vc)
+	b.readyAt = s.cycle + int64(s.cfg.PipelineStages) - 1
+}
+
+// switchAllocateAndTraverse arbitrates each output channel (one flit per
+// cycle) and each ejection port (LocalBandwidth flits per cycle), then
+// moves the winning flits.
+func (s *Simulator) switchAllocateAndTraverse() {
+	// Per-channel switch allocation: candidates are the input VCs at the
+	// channel's source node whose active output is this channel.
+	for ch := 0; ch < s.mesh.NumChannels(); ch++ {
+		out := topology.ChannelID(ch)
+		src := s.mesh.Channel(out).Src
+		cands := s.candidates(src, out)
+		if len(cands) == 0 {
+			continue
+		}
+		pick := cands[s.rrOut[ch]%len(cands)]
+		s.rrOut[ch]++
+		s.forward(pick, out)
+	}
+	// Ejection.
+	for n := 0; n < s.mesh.NumNodes(); n++ {
+		node := topology.NodeID(n)
+		for budget := s.cfg.LocalBandwidth; budget > 0; budget-- {
+			cands := s.ejectCandidates(node)
+			if len(cands) == 0 {
+				break
+			}
+			pick := cands[s.rrEjct[n]%len(cands)]
+			s.rrEjct[n]++
+			s.ejectFlit(pick, node)
+		}
+	}
+}
+
+// candidates lists input VC buffers at node whose head flit wants channel
+// out and whose downstream buffer has space. The returned slice is only
+// valid until the next candidates/ejectCandidates call.
+func (s *Simulator) candidates(node topology.NodeID, out topology.ChannelID) []*vcBuf {
+	cands := s.scratch[:0]
+	consider := func(b *vcBuf) {
+		if !b.active || b.eject || b.outCh != out || len(b.buf) == 0 || s.cycle < b.readyAt {
+			return
+		}
+		down := &s.chanVCs[out][b.outVC]
+		if len(down.buf)+s.stagedInto(out, 0, b.outVC) >= s.cfg.BufDepth {
+			return // no credit
+		}
+		cands = append(cands, b)
+	}
+	for _, in := range s.mesh.InChannels(node) {
+		for vc := range s.chanVCs[in] {
+			consider(&s.chanVCs[in][vc])
+		}
+	}
+	for vc := range s.injVCs[node] {
+		consider(&s.injVCs[node][vc])
+	}
+	s.scratch = cands
+	return cands
+}
+
+func (s *Simulator) ejectCandidates(node topology.NodeID) []*vcBuf {
+	cands := s.scratch[:0]
+	consider := func(b *vcBuf) {
+		if b.active && b.eject && len(b.buf) > 0 && s.cycle >= b.readyAt {
+			cands = append(cands, b)
+		}
+	}
+	for _, in := range s.mesh.InChannels(node) {
+		for vc := range s.chanVCs[in] {
+			consider(&s.chanVCs[in][vc])
+		}
+	}
+	// Injection VCs can only eject if a flow's source equals its sink,
+	// which route validation forbids; skip them.
+	s.scratch = cands
+	return cands
+}
+
+// forward dequeues the head flit of b and stages it into (b.outCh,
+// b.outVC).
+func (s *Simulator) forward(b *vcBuf, out topology.ChannelID) {
+	f := b.buf[0]
+	b.buf = b.buf[1:]
+	s.stage(stagedFlit{f: f, ch: out, vc: b.outVC})
+	if int(f.idx) == s.cfg.PacketLen-1 {
+		b.reset() // tail left: release this VC for the next packet
+	}
+	s.lastMove = s.cycle
+}
+
+// ejectFlit consumes the head flit of b at its destination.
+func (s *Simulator) ejectFlit(b *vcBuf, node topology.NodeID) {
+	f := b.buf[0]
+	b.buf = b.buf[1:]
+	s.inFlight--
+	s.lastMove = s.cycle
+	if int(f.idx) == s.cfg.PacketLen-1 {
+		b.reset()
+		p := &s.packets[f.pkt]
+		p.doneT = s.cycle
+		s.delivered++
+		if s.cycle >= s.cfg.WarmupCycles {
+			s.mDelivered++
+			s.perFlow[p.flow]++
+			lat := p.doneT - p.enterT
+			s.mLatencySum += lat
+			s.mTotalLatSum += p.doneT - p.createT
+			s.perFlowLat[p.flow].Add(float64(lat))
+			s.latencyHist.Add(float64(lat))
+		}
+	}
+}
+
+// stage records a flit delivery applied at end of cycle, so all routers
+// observe a consistent pre-cycle state.
+func (s *Simulator) stage(d stagedFlit) {
+	s.staged = append(s.staged, d)
+	if d.ch == topology.InvalidChannel {
+		s.stagedInj[d.to][d.vc]++
+	} else {
+		s.stagedChan[d.ch][d.vc]++
+	}
+}
+
+// stagedInto counts already-staged deliveries into a buffer this cycle,
+// for credit accounting.
+func (s *Simulator) stagedInto(ch topology.ChannelID, node topology.NodeID, vc int8) int {
+	if ch == topology.InvalidChannel {
+		return int(s.stagedInj[node][vc])
+	}
+	return int(s.stagedChan[ch][vc])
+}
+
+func (s *Simulator) applyStaged() {
+	for _, d := range s.staged {
+		var b *vcBuf
+		if d.ch == topology.InvalidChannel {
+			b = &s.injVCs[d.to][d.vc]
+			s.inFlight++ // new flit entered the network
+			s.stagedInj[d.to][d.vc]--
+		} else {
+			b = &s.chanVCs[d.ch][d.vc]
+			s.stagedChan[d.ch][d.vc]--
+		}
+		b.buf = append(b.buf, d.f)
+	}
+	s.staged = s.staged[:0]
+}

@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/route"
+	"repro/internal/topology"
+)
+
+// tableEntry is one row of the node-table routing architecture (§4.2.1):
+// given the channel a flit arrived on, the next output channel and the
+// statically allocated VC there, or an ejection marker.
+type tableEntry struct {
+	next topology.ChannelID // InvalidChannel means eject here
+	vc   int
+}
+
+// routingTable is the programmable table-based routing state: indexed by
+// flow and by arrival channel (with one extra pseudo-channel for
+// injection at the source). Routes never repeat a channel (route.Set
+// Validate enforces it), so the (flow, arrival channel) key is
+// unambiguous even when a route crosses one node twice.
+type routingTable struct {
+	entries [][]tableEntry // [flow][channel+1]
+}
+
+const injectionIndex = 0 // pseudo-channel index for "just injected"
+
+func buildTable(topo topology.Topology, set *route.Set) (*routingTable, error) {
+	t := &routingTable{entries: make([][]tableEntry, len(set.Routes))}
+	nc := topo.NumChannels()
+	for i, r := range set.Routes {
+		row := make([]tableEntry, nc+1)
+		for j := range row {
+			row[j] = tableEntry{next: topology.InvalidChannel, vc: -1}
+		}
+		if len(r.Channels) == 0 {
+			return nil, fmt.Errorf("sim: flow %s has no route", r.Flow.Name)
+		}
+		row[injectionIndex] = tableEntry{next: r.Channels[0], vc: r.VCs[0]}
+		for h := 0; h < len(r.Channels); h++ {
+			e := tableEntry{next: topology.InvalidChannel, vc: -1}
+			if h+1 < len(r.Channels) {
+				e = tableEntry{next: r.Channels[h+1], vc: r.VCs[h+1]}
+			}
+			row[int(r.Channels[h])+1] = e
+		}
+		t.entries[i] = row
+	}
+	return t, nil
+}
+
+// lookup returns the routing decision for flow i arriving on channel ch
+// (pass topology.InvalidChannel for injection at the source).
+func (t *routingTable) lookup(flow int, ch topology.ChannelID) tableEntry {
+	if ch == topology.InvalidChannel {
+		return t.entries[flow][injectionIndex]
+	}
+	return t.entries[flow][int(ch)+1]
+}

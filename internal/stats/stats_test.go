@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Var() != 0 || s.N() != 0 {
+		t.Error("empty summary not zero")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Errorf("mean = %g, want 5", s.Mean())
+	}
+	// Population variance is 4; sample variance = 32/7.
+	if math.Abs(s.Var()-32.0/7) > 1e-12 {
+		t.Errorf("var = %g, want %g", s.Var(), 32.0/7)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("extremes = %g, %g", s.Min(), s.Max())
+	}
+	if s.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+// Welford must match the naive two-pass computation.
+func TestSummaryMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(100)
+		xs := make([]float64, n)
+		var s Summary
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*10 + 5
+			s.Add(xs[i])
+		}
+		mean := 0.0
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(n)
+		v := 0.0
+		for _, x := range xs {
+			v += (x - mean) * (x - mean)
+		}
+		v /= float64(n - 1)
+		return math.Abs(s.Mean()-mean) < 1e-9 && math.Abs(s.Var()-v) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 100, 10)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i))
+	}
+	if h.Total() != 100 {
+		t.Fatalf("total %d", h.Total())
+	}
+	for i := 0; i < 10; i++ {
+		if h.Bucket(i) != 10 {
+			t.Errorf("bucket %d = %d, want 10", i, h.Bucket(i))
+		}
+		lo, hi := h.BucketBounds(i)
+		if lo != float64(i*10) || hi != float64(i*10+10) {
+			t.Errorf("bounds(%d) = [%g,%g)", i, lo, hi)
+		}
+	}
+	// Out-of-range values saturate.
+	h.Add(-5)
+	h.Add(1e9)
+	if h.Bucket(0) != 11 || h.Bucket(9) != 11 {
+		t.Error("saturation buckets wrong")
+	}
+}
+
+func TestHistogramPercentile(t *testing.T) {
+	h := NewHistogram(0, 100, 100)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	if p := h.Percentile(50); math.Abs(p-50) > 1 {
+		t.Errorf("p50 = %g", p)
+	}
+	if p := h.Percentile(99); math.Abs(p-99) > 1 {
+		t.Errorf("p99 = %g", p)
+	}
+	if p := h.Percentile(100); p != 100 {
+		t.Errorf("p100 = %g", p)
+	}
+	empty := NewHistogram(0, 1, 4)
+	if empty.Percentile(50) != 0 {
+		t.Error("empty percentile not 0")
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad histogram accepted")
+		}
+	}()
+	NewHistogram(5, 5, 10)
+}
+
+func TestQuantiles(t *testing.T) {
+	sample := []float64{9, 1, 8, 2, 7, 3, 6, 4, 5, 10}
+	qs := Quantiles(sample, 0.5, 0.9, 1.0)
+	if qs[0] != 5 {
+		t.Errorf("median = %g, want 5", qs[0])
+	}
+	if qs[1] != 9 {
+		t.Errorf("p90 = %g, want 9", qs[1])
+	}
+	if qs[2] != 10 {
+		t.Errorf("max = %g, want 10", qs[2])
+	}
+	if got := Quantiles(nil, 0.5); got[0] != 0 {
+		t.Error("empty sample quantile not 0")
+	}
+}
+
+func TestBatchMeans(t *testing.T) {
+	// Constant series: exact mean, zero half-width.
+	series := make([]float64, 100)
+	for i := range series {
+		series[i] = 7
+	}
+	mean, hw := BatchMeans(series, 10)
+	if mean != 7 || hw != 0 {
+		t.Errorf("constant series: mean %g hw %g", mean, hw)
+	}
+	// Noisy series: mean near truth, positive half-width shrinking with
+	// more data.
+	rng := rand.New(rand.NewSource(1))
+	noisy := make([]float64, 10000)
+	for i := range noisy {
+		noisy[i] = 3 + rng.NormFloat64()
+	}
+	mean, hw = BatchMeans(noisy, 20)
+	if math.Abs(mean-3) > 0.1 {
+		t.Errorf("noisy mean %g", mean)
+	}
+	if hw <= 0 || hw > 0.2 {
+		t.Errorf("half width %g", hw)
+	}
+	if m, h := BatchMeans(nil, 4); m != 0 || h != 0 {
+		t.Error("empty series not zero")
+	}
+	// One batch: no half-width.
+	if _, h := BatchMeans([]float64{1, 2}, 1); h != 0 {
+		t.Error("single batch should have zero half-width")
+	}
+}

@@ -1,0 +1,98 @@
+package topology
+
+import "testing"
+
+func TestTorusDimensions(t *testing.T) {
+	tr := NewTorus(4, 4)
+	if tr.NumNodes() != 16 {
+		t.Errorf("nodes = %d", tr.NumNodes())
+	}
+	// Every node has all four out-channels on a torus.
+	if tr.NumChannels() != 64 {
+		t.Errorf("channels = %d, want 64", tr.NumChannels())
+	}
+	for n := NodeID(0); n < 16; n++ {
+		if len(tr.OutChannels(n)) != 4 || len(tr.InChannels(n)) != 4 {
+			t.Fatalf("node %v degree wrong", n)
+		}
+	}
+}
+
+func TestTorusTooSmallPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("2-wide torus accepted")
+		}
+	}()
+	NewTorus(2, 4)
+}
+
+func TestTorusWraparound(t *testing.T) {
+	tr := NewTorus(4, 3)
+	if tr.Neighbor(tr.NodeAt(3, 0), East) != tr.NodeAt(0, 0) {
+		t.Error("east wrap wrong")
+	}
+	if tr.Neighbor(tr.NodeAt(0, 0), West) != tr.NodeAt(3, 0) {
+		t.Error("west wrap wrong")
+	}
+	if tr.Neighbor(tr.NodeAt(0, 2), North) != tr.NodeAt(0, 0) {
+		t.Error("north wrap wrong")
+	}
+	if tr.Neighbor(tr.NodeAt(0, 0), South) != tr.NodeAt(0, 2) {
+		t.Error("south wrap wrong")
+	}
+	wrapCount := 0
+	for id := ChannelID(0); id < ChannelID(tr.NumChannels()); id++ {
+		if tr.Wraparound(id) {
+			wrapCount++
+		}
+		c := tr.Channel(id)
+		if tr.Neighbor(c.Src, c.Dir) != c.Dst {
+			t.Fatalf("channel %d inconsistent", id)
+		}
+	}
+	// Per dimension: 2 wrap channels per ring. X rings: 3 rows x 2; Y
+	// rings: 4 columns x 2.
+	if wrapCount != 3*2+4*2 {
+		t.Errorf("wrap channels = %d, want 14", wrapCount)
+	}
+}
+
+func TestTorusMinimalHops(t *testing.T) {
+	tr := NewTorus(8, 8)
+	if got := tr.MinimalHops(tr.NodeAt(0, 0), tr.NodeAt(7, 7)); got != 2 {
+		t.Errorf("corner-to-corner = %d, want 2 (wraparound)", got)
+	}
+	if got := tr.MinimalHops(tr.NodeAt(0, 0), tr.NodeAt(4, 4)); got != 8 {
+		t.Errorf("half-diagonal = %d, want 8", got)
+	}
+	if got := tr.MinimalHops(tr.NodeAt(3, 3), tr.NodeAt(3, 3)); got != 0 {
+		t.Errorf("self = %d", got)
+	}
+}
+
+func TestTorusChannelFromToPrefersNonWrap(t *testing.T) {
+	tr := NewTorus(3, 3)
+	// On a 3-wide ring, (0,0)->(1,0) is reachable east directly and west
+	// via wrap; the direct channel must be returned.
+	id := tr.ChannelFromTo(tr.NodeAt(0, 0), tr.NodeAt(1, 0))
+	if id == InvalidChannel || tr.Wraparound(id) {
+		t.Errorf("got wrap channel %d", id)
+	}
+	if tr.Channel(id).Dir != East {
+		t.Errorf("dir = %v", tr.Channel(id).Dir)
+	}
+	if tr.ChannelFromTo(tr.NodeAt(0, 0), tr.NodeAt(0, 0)) != InvalidChannel {
+		t.Error("self channel")
+	}
+}
+
+func TestTorusNodeAtModular(t *testing.T) {
+	tr := NewTorus(4, 4)
+	if tr.NodeAt(-1, -1) != tr.NodeAt(3, 3) {
+		t.Error("negative coordinates not wrapped")
+	}
+	if tr.NodeAt(5, 9) != tr.NodeAt(1, 1) {
+		t.Error("overflow coordinates not wrapped")
+	}
+}

@@ -1,0 +1,163 @@
+package traffic
+
+import (
+	"fmt"
+
+	"repro/internal/flowgraph"
+	"repro/internal/topology"
+)
+
+// App is an application workload: a set of named modules placed on mesh
+// nodes and the estimated-bandwidth flows between them.
+//
+// The thesis publishes each application's flow rates (Fig. 5-1, Fig. 5-2,
+// Table 5.2) but not the module-to-node placements; the placements here are
+// this repository's documented choice (DESIGN.md §5). Flow endpoints for
+// H.264 and performance modeling are reconstructed from the module roles
+// where the thesis figure is ambiguous.
+type App struct {
+	Name    string
+	Modules map[string]topology.NodeID
+	Flows   []flowgraph.Flow
+}
+
+type appFlow struct {
+	name     string
+	from, to string
+	demand   float64 // MB/s
+}
+
+func buildApp(m *topology.Mesh, name string, placement map[string][2]int, flows []appFlow) *App {
+	app := &App{Name: name, Modules: make(map[string]topology.NodeID, len(placement))}
+	used := make(map[topology.NodeID]string, len(placement))
+	for mod, xy := range placement {
+		n := m.NodeAt(xy[0], xy[1])
+		if n == topology.InvalidNode {
+			panic(fmt.Sprintf("traffic: %s module %s placed off-mesh at (%d,%d)",
+				name, mod, xy[0], xy[1]))
+		}
+		if prev, clash := used[n]; clash {
+			panic(fmt.Sprintf("traffic: %s modules %s and %s share node (%d,%d)",
+				name, prev, mod, xy[0], xy[1]))
+		}
+		used[n] = mod
+		app.Modules[mod] = n
+	}
+	for _, f := range flows {
+		src, ok := app.Modules[f.from]
+		if !ok {
+			panic(fmt.Sprintf("traffic: %s flow %s references unknown module %s", name, f.name, f.from))
+		}
+		dst, ok := app.Modules[f.to]
+		if !ok {
+			panic(fmt.Sprintf("traffic: %s flow %s references unknown module %s", name, f.name, f.to))
+		}
+		app.Flows = append(app.Flows, flowgraph.Flow{
+			ID:     len(app.Flows),
+			Name:   f.name,
+			Src:    src,
+			Dst:    dst,
+			Demand: f.demand,
+		})
+	}
+	return app
+}
+
+// H264Decoder is the H.264 video decoder of §5.2.1 (Fig. 5-1): nine
+// modules (entropy decoding, inverse transform/quantization, four
+// interpolation modules, reference pixel loading, intra-prediction/
+// deblocking reconstruction, and the off-chip memory controller M9) with
+// fifteen flows whose rates span 0.473 to 120.4 MB/s. The dominant flow f7
+// (120.4 MB/s, into the memory controller) sets the lower bound on any
+// routing's MCL, which the thesis' best CDGs achieve exactly.
+func H264Decoder(m *topology.Mesh) *App {
+	placement := map[string][2]int{
+		"M1": {1, 1}, "M2": {3, 1}, "M3": {5, 1},
+		"M4": {1, 3}, "M5": {3, 3}, "M6": {5, 3},
+		"M8": {1, 5}, "M7": {3, 5}, "M9": {5, 5},
+	}
+	flows := []appFlow{
+		{"f1", "M1", "M2", 39.7},
+		{"f2", "M1", "M4", 3.27},
+		{"f3", "M4", "M3", 20.4},
+		{"f4", "M4", "M5", 20.47},
+		{"f5", "M2", "M6", 13.97},
+		{"f6", "M8", "M6", 3.97},
+		{"f7", "M7", "M9", 120.4},
+		{"f8", "M4", "M8", 30.1},
+		{"f9", "M2", "M5", 39.7},
+		{"f10", "M5", "M6", 1.3},
+		{"f11", "M5", "M7", 1.63},
+		{"f12", "M6", "M7", 0.824},
+		{"f13", "M6", "M8", 0.824},
+		{"f14", "M6", "M9", 41.47},
+		{"f15", "M3", "M1", 0.473},
+	}
+	return buildApp(m, "h264", placement, flows)
+}
+
+// PerfModeling is the FPGA processor performance model of §5.2.2
+// (Fig. 5-2): a three-stage pipeline (fetch, decode, execute) with
+// instruction memory, data memory, and register file as independent
+// modules. Flow rates range from 4.3 to 62.73 MB/s; the register-file flow
+// f4 (62.73 MB/s) bounds the achievable MCL.
+func PerfModeling(m *topology.Mesh) *App {
+	placement := map[string][2]int{
+		"Fetch": {1, 2}, "Imem": {3, 2}, "Decode": {5, 2},
+		"Dmem": {1, 4}, "RegFile": {3, 4}, "Execute": {5, 4},
+	}
+	flows := []appFlow{
+		{"f1", "Fetch", "Imem", 41.82},
+		{"f2", "Imem", "Fetch", 41.82},
+		{"f3", "Fetch", "Decode", 41.82},
+		{"f4", "Decode", "RegFile", 62.73},
+		{"f5", "Decode", "Execute", 41.82},
+		{"f6", "RegFile", "Execute", 41.82},
+		{"f7", "Execute", "RegFile", 7.1},
+		{"f8", "Execute", "Decode", 7.1},
+		{"f9", "RegFile", "Fetch", 4.3},
+		{"f10", "Execute", "Dmem", 41.82},
+		{"f11", "Dmem", "Execute", 41.82},
+	}
+	return buildApp(m, "perfmodel", placement, flows)
+}
+
+// Transmitter80211 is the IEEE 802.11a/g OFDM baseband transmitter of
+// §5.2.3 (Fig. 5-3, Table 5.2): FEC coding, interleaving, symbol mapping,
+// a four-way partitioned IFFT, and guard-interval insertion. Table 5.2
+// gives rates in Mbit/s; demands here are converted to MB/s (divided by 8)
+// so MCL values are directly comparable with the thesis' tables (e.g. the
+// 58.72 Mbit/s flow f9 is 7.34 MB/s, the best-case MCL of Table 6.1).
+func Transmitter80211(m *topology.Mesh) *App {
+	placement := map[string][2]int{
+		"IN": {0, 3}, "M1": {1, 4}, "M2": {2, 3}, "M3": {2, 5},
+		"M4": {0, 5}, "M5": {3, 4}, "M6": {4, 4}, "M7": {5, 4},
+		"M8": {6, 3}, "M9": {6, 5}, "M10": {5, 6}, "M11": {4, 6},
+		"M12": {5, 5}, "M13": {3, 5}, "M14": {2, 6}, "M15": {1, 6},
+		"DAC": {0, 6},
+	}
+	const mbit = 1.0 / 8 // Mbit/s -> MB/s
+	flows := []appFlow{
+		{"f1", "M4", "M1", 0.7 * mbit},
+		{"f2", "M1", "M2", 36.2 * mbit},
+		{"f3", "M2", "M5", 36.2 * mbit},
+		{"f4", "M3", "M5", 48 * mbit},
+		{"f5", "M13", "M6", 36.8 * mbit},
+		{"f6", "M5", "M6", 38.9 * mbit},
+		{"f7", "M6", "M7", 37 * mbit},
+		{"f8", "M12", "M13", 36.7 * mbit},
+		{"f9", "M13", "M14", 58.72 * mbit},
+		{"f10", "M14", "M15", 36.8 * mbit},
+		{"f11", "M15", "DAC", 36 * mbit},
+		{"f12", "M7", "M11", 18 * mbit},
+		{"f13", "M7", "M10", 18 * mbit},
+		{"f14", "M7", "M9", 18 * mbit},
+		{"f15", "M7", "M8", 18 * mbit},
+		{"f16", "M8", "M12", 9 * mbit},
+		{"f17", "M9", "M12", 9 * mbit},
+		{"f18", "M10", "M12", 9 * mbit},
+		{"f19", "M11", "M12", 9 * mbit},
+		{"f20", "IN", "M1", 18.1 * mbit},
+	}
+	return buildApp(m, "wifi-tx", placement, flows)
+}

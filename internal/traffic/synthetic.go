@@ -1,0 +1,82 @@
+// Package traffic provides the workloads of the thesis' evaluation
+// (chapter 5): the transpose, bit-complement, and shuffle synthetic
+// patterns; the H.264 decoder, processor performance modeling, and IEEE
+// 802.11a/g transmitter application flow graphs; and the two-state
+// Markov-modulated bandwidth variation model of §5.3.
+package traffic
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/flowgraph"
+	"repro/internal/topology"
+)
+
+// DefaultSyntheticDemand is the per-flow bandwidth (MB/s) used by the
+// synthetic benchmarks; 25 MB/s reproduces the multiples-of-25 MCL values
+// of the thesis' tables (e.g. XY transpose MCL 175 = 7 x 25).
+const DefaultSyntheticDemand = 25.0
+
+// addressBits returns b = log2(N) for the bit-permutation patterns, which
+// require a power-of-two node count with even bit width for transpose.
+func addressBits(m *topology.Mesh) int {
+	n := m.NumNodes()
+	if n&(n-1) != 0 {
+		panic(fmt.Sprintf("traffic: %d nodes is not a power of two", n))
+	}
+	return bits.TrailingZeros(uint(n))
+}
+
+func bitPattern(m *topology.Mesh, name string, demand float64,
+	dst func(s, b int) int) []flowgraph.Flow {
+
+	b := addressBits(m)
+	var flows []flowgraph.Flow
+	for s := 0; s < m.NumNodes(); s++ {
+		d := dst(s, b)
+		if d == s {
+			continue // a node does not send to itself
+		}
+		flows = append(flows, flowgraph.Flow{
+			ID:     len(flows),
+			Name:   fmt.Sprintf("%s(%d->%d)", name, s, d),
+			Src:    topology.NodeID(s),
+			Dst:    topology.NodeID(d),
+			Demand: demand,
+		})
+	}
+	return flows
+}
+
+// Transpose is the matrix-transpose / corner-turn pattern (§5.1.2):
+// d_i = s_{(i + b/2) mod b}, i.e. the two halves of the node address swap,
+// so node (x, y) sends to (y, x). Requires even address width.
+func Transpose(m *topology.Mesh, demand float64) []flowgraph.Flow {
+	b := addressBits(m)
+	if b%2 != 0 {
+		panic("traffic: transpose requires an even address width")
+	}
+	return bitPattern(m, "transpose", demand, func(s, b int) int {
+		half := b / 2
+		lo := s & (1<<half - 1)
+		hi := s >> half
+		return lo<<half | hi
+	})
+}
+
+// BitComplement is the vector-reversal pattern (§5.1.1): d_i = NOT s_i,
+// so node (x, y) sends to (W-1-x, H-1-y).
+func BitComplement(m *topology.Mesh, demand float64) []flowgraph.Flow {
+	return bitPattern(m, "bitcomp", demand, func(s, b int) int {
+		return ^s & (1<<b - 1)
+	})
+}
+
+// Shuffle is the perfect-shuffle pattern of sorting and FFT kernels
+// (§5.1.3): the address rotates left by one bit, d_i = s_{(i-1) mod b}.
+func Shuffle(m *topology.Mesh, demand float64) []flowgraph.Flow {
+	return bitPattern(m, "shuffle", demand, func(s, b int) int {
+		return (s<<1 | s>>(b-1)) & (1<<b - 1)
+	})
+}

@@ -1,0 +1,290 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/flowgraph"
+	"repro/internal/topology"
+)
+
+func mesh8() *topology.Mesh { return topology.NewMesh(8, 8) }
+
+func TestTransposePattern(t *testing.T) {
+	m := mesh8()
+	flows := Transpose(m, 25)
+	// 64 nodes minus the 8 diagonal self-pairs.
+	if len(flows) != 56 {
+		t.Fatalf("transpose flow count = %d, want 56", len(flows))
+	}
+	for _, f := range flows {
+		sx, sy := m.XY(f.Src)
+		dx, dy := m.XY(f.Dst)
+		if dx != sy || dy != sx {
+			t.Fatalf("flow %s: (%d,%d)->(%d,%d) is not a transpose", f.Name, sx, sy, dx, dy)
+		}
+		if f.Demand != 25 {
+			t.Fatalf("flow %s demand = %g", f.Name, f.Demand)
+		}
+	}
+}
+
+func TestBitComplementPattern(t *testing.T) {
+	m := mesh8()
+	flows := BitComplement(m, 25)
+	if len(flows) != 64 {
+		t.Fatalf("bit-complement flow count = %d, want 64 (no fixed points)", len(flows))
+	}
+	for _, f := range flows {
+		sx, sy := m.XY(f.Src)
+		dx, dy := m.XY(f.Dst)
+		if dx != 7-sx || dy != 7-sy {
+			t.Fatalf("flow %s: not a complement", f.Name)
+		}
+	}
+}
+
+func TestShufflePattern(t *testing.T) {
+	m := mesh8()
+	flows := Shuffle(m, 25)
+	// Fixed points of rotate-left on 6 bits: 000000 and 111111.
+	if len(flows) != 62 {
+		t.Fatalf("shuffle flow count = %d, want 62", len(flows))
+	}
+	for _, f := range flows {
+		s, d := int(f.Src), int(f.Dst)
+		want := (s<<1 | s>>5) & 63
+		if d != want {
+			t.Fatalf("shuffle(%d) = %d, want %d", s, d, want)
+		}
+	}
+}
+
+func TestPatternsArePermutationLike(t *testing.T) {
+	m := mesh8()
+	for _, gen := range []func(*topology.Mesh, float64) []flowgraph.Flow{
+		Transpose, BitComplement, Shuffle,
+	} {
+		flows := gen(m, 1)
+		srcSeen := map[topology.NodeID]bool{}
+		dstSeen := map[topology.NodeID]bool{}
+		for _, f := range flows {
+			if srcSeen[f.Src] || dstSeen[f.Dst] {
+				t.Fatal("pattern is not a partial permutation")
+			}
+			srcSeen[f.Src] = true
+			dstSeen[f.Dst] = true
+			if f.Src == f.Dst {
+				t.Fatal("self flow emitted")
+			}
+		}
+	}
+}
+
+func TestSyntheticRequiresPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two mesh accepted")
+		}
+	}()
+	Transpose(topology.NewMesh(3, 3), 1)
+}
+
+func TestTransposeRequiresEvenBits(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd address width accepted for transpose")
+		}
+	}()
+	Transpose(topology.NewMesh(8, 4), 1) // 32 nodes, 5 bits
+}
+
+func checkApp(t *testing.T, app *App, wantFlows int, wantMax float64) {
+	t.Helper()
+	if len(app.Flows) != wantFlows {
+		t.Fatalf("%s flow count = %d, want %d", app.Name, len(app.Flows), wantFlows)
+	}
+	max := 0.0
+	for _, f := range app.Flows {
+		if f.Src == f.Dst {
+			t.Fatalf("%s flow %s is a self loop", app.Name, f.Name)
+		}
+		if f.Demand <= 0 {
+			t.Fatalf("%s flow %s demand = %g", app.Name, f.Name, f.Demand)
+		}
+		if f.Demand > max {
+			max = f.Demand
+		}
+	}
+	if math.Abs(max-wantMax) > 1e-9 {
+		t.Errorf("%s max demand = %g, want %g", app.Name, max, wantMax)
+	}
+}
+
+func TestH264Decoder(t *testing.T) {
+	app := H264Decoder(mesh8())
+	checkApp(t, app, 15, 120.4)
+	if len(app.Modules) != 9 {
+		t.Errorf("H.264 module count = %d, want 9", len(app.Modules))
+	}
+	// Published rates from Fig. 5-1 that anchor the evaluation.
+	byName := map[string]float64{}
+	for _, f := range app.Flows {
+		byName[f.Name] = f.Demand
+	}
+	for name, want := range map[string]float64{
+		"f7": 120.4, "f14": 41.47, "f15": 0.473, "f1": 39.7,
+	} {
+		if got := byName[name]; math.Abs(got-want) > 1e-9 {
+			t.Errorf("H.264 %s demand = %g, want %g", name, got, want)
+		}
+	}
+}
+
+func TestPerfModeling(t *testing.T) {
+	app := PerfModeling(mesh8())
+	checkApp(t, app, 11, 62.73)
+	if len(app.Modules) != 6 {
+		t.Errorf("perf modeling module count = %d, want 6", len(app.Modules))
+	}
+}
+
+func TestTransmitter80211(t *testing.T) {
+	app := Transmitter80211(mesh8())
+	checkApp(t, app, 20, 58.72/8)
+	if len(app.Modules) != 17 {
+		t.Errorf("transmitter module count = %d, want 17", len(app.Modules))
+	}
+	// Table 5.2 spot checks, converted to MB/s.
+	byName := map[string]float64{}
+	for _, f := range app.Flows {
+		byName[f.Name] = f.Demand
+	}
+	if math.Abs(byName["f9"]-7.34) > 1e-9 {
+		t.Errorf("f9 = %g MB/s, want 7.34", byName["f9"])
+	}
+	if math.Abs(byName["f4"]-6.0) > 1e-9 {
+		t.Errorf("f4 = %g MB/s, want 6.0", byName["f4"])
+	}
+}
+
+func TestAppPlacementsDistinct(t *testing.T) {
+	m := mesh8()
+	for _, app := range []*App{H264Decoder(m), PerfModeling(m), Transmitter80211(m)} {
+		seen := map[topology.NodeID]string{}
+		for mod, n := range app.Modules {
+			if prev, ok := seen[n]; ok {
+				t.Errorf("%s: modules %s and %s share a node", app.Name, prev, mod)
+			}
+			seen[n] = mod
+		}
+	}
+}
+
+func TestMMPStaysWithinBand(t *testing.T) {
+	mmp := NewMMP(100, 0.25, 50, 1)
+	for i := 0; i < 20000; i++ {
+		r := mmp.Advance()
+		if r < 75-1e-9 || r > 125+1e-9 {
+			t.Fatalf("cycle %d: rate %g outside [75,125]", i, r)
+		}
+	}
+	if mmp.Base() != 100 {
+		t.Error("Base changed")
+	}
+}
+
+func TestMMPActuallyVaries(t *testing.T) {
+	mmp := NewMMP(100, 0.25, 20, 2)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	changes := 0
+	prev := mmp.Advance()
+	for i := 0; i < 10000; i++ {
+		r := mmp.Advance()
+		if r != prev {
+			changes++
+		}
+		prev = r
+		lo, hi = math.Min(lo, r), math.Max(hi, r)
+	}
+	if changes < 50 {
+		t.Errorf("only %d rate changes in 10000 cycles", changes)
+	}
+	if hi <= 100 || lo >= 100 {
+		t.Errorf("rates never crossed the base: [%g, %g]", lo, hi)
+	}
+}
+
+func TestMMPHoldsRates(t *testing.T) {
+	mmp := NewMMP(100, 0.5, 100, 3)
+	// Consecutive cycles mostly share a rate (piecewise constant).
+	same := 0
+	prev := mmp.Advance()
+	for i := 0; i < 5000; i++ {
+		r := mmp.Advance()
+		if r == prev {
+			same++
+		}
+		prev = r
+	}
+	if same < 4500 {
+		t.Errorf("rate held on only %d/5000 transitions; not piecewise constant", same)
+	}
+}
+
+func TestMMPDeterministicPerSeed(t *testing.T) {
+	a := NewMMP(10, 0.1, 30, 7)
+	b := NewMMP(10, 0.1, 30, 7)
+	for i := 0; i < 1000; i++ {
+		if a.Advance() != b.Advance() {
+			t.Fatal("MMP not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestVaryFlows(t *testing.T) {
+	m := mesh8()
+	flows := Transpose(m, 25)
+	varied := VaryFlows(flows, 0.5, 9)
+	if len(varied) != len(flows) {
+		t.Fatal("length changed")
+	}
+	changed := 0
+	for i := range varied {
+		if varied[i].Demand != flows[i].Demand {
+			changed++
+		}
+		if varied[i].Demand < 12.5-1e-9 || varied[i].Demand > 37.5+1e-9 {
+			t.Fatalf("varied demand %g outside 50%% band", varied[i].Demand)
+		}
+		if varied[i].Src != flows[i].Src || varied[i].Dst != flows[i].Dst {
+			t.Fatal("endpoints changed")
+		}
+	}
+	if changed < len(flows)/2 {
+		t.Error("variation changed too few demands")
+	}
+	// Original must be untouched.
+	if flows[0].Demand != 25 {
+		t.Error("VaryFlows mutated its input")
+	}
+}
+
+// Property: MMP rates always within the band for arbitrary parameters.
+func TestMMPProperty(t *testing.T) {
+	f := func(seed int64, pctByte uint8) bool {
+		pct := float64(pctByte%51) / 100 // 0..0.5
+		mmp := NewMMP(40, pct, 25, seed)
+		for i := 0; i < 500; i++ {
+			r := mmp.Advance()
+			if r < 40*(1-pct)-1e-9 || r > 40*(1+pct)+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

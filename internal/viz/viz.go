@@ -1,0 +1,169 @@
+// Package viz renders the evaluation artifacts as plain-text graphics:
+// multi-series scatter/line charts for the throughput and latency figures,
+// and mesh heatmaps for channel-load distributions. Pure text keeps the
+// repository dependency-free while making cmd/experiments output readable
+// next to the thesis' plots.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/topology"
+)
+
+// Series is one labeled curve of (x, y) points.
+type Series struct {
+	Label  string
+	X, Y   []float64
+	Marker byte
+}
+
+// defaultMarkers assigns distinct plot markers per series.
+var defaultMarkers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Chart renders series into a width x height character grid with axis
+// labels. Points sharing a cell keep the earlier series' marker. The
+// legend maps markers to labels.
+func Chart(title string, series []Series, width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 6 {
+		height = 6
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := 0.0, math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return title + "\n(no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = defaultMarkers[si%len(defaultMarkers)]
+		}
+		for i := range s.X {
+			c := int(float64(width-1) * (s.X[i] - minX) / (maxX - minX))
+			r := int(float64(height-1) * (s.Y[i] - minY) / (maxY - minY))
+			row := height - 1 - r
+			if grid[row][c] == ' ' {
+				grid[row][c] = marker
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for r, row := range grid {
+		yVal := maxY - (maxY-minY)*float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%8.2f |%s|\n", yVal, string(row))
+	}
+	fmt.Fprintf(&b, "%8s +%s+\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%8s  %-*.2f%*.2f\n", "", width/2, minX, width-width/2, maxX)
+	for si, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = defaultMarkers[si%len(defaultMarkers)]
+		}
+		fmt.Fprintf(&b, "  %c %s\n", marker, s.Label)
+	}
+	return b.String()
+}
+
+// LoadHeatmap renders per-channel loads of a mesh as a node grid with
+// horizontal and vertical link intensity glyphs between nodes, scaled to
+// the maximum load. Intensity ramp: " .:-=+*#%@" (max of the two
+// directed channels of a link).
+func LoadHeatmap(m *topology.Mesh, loads []float64) string {
+	ramp := " .:-=+*#%@"
+	max := 0.0
+	for _, l := range loads {
+		max = math.Max(max, l)
+	}
+	glyph := func(l float64) byte {
+		if max == 0 {
+			return ' '
+		}
+		i := int(l / max * float64(len(ramp)-1))
+		return ramp[i]
+	}
+	linkLoad := func(a, b topology.NodeID) float64 {
+		l := 0.0
+		if ch := m.ChannelFromTo(a, b); ch != topology.InvalidChannel {
+			l = math.Max(l, loads[ch])
+		}
+		if ch := m.ChannelFromTo(b, a); ch != topology.InvalidChannel {
+			l = math.Max(l, loads[ch])
+		}
+		return l
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "channel loads (max %.2f):\n", max)
+	// Render rows top (y = H-1) to bottom.
+	for y := m.Height() - 1; y >= 0; y-- {
+		// Node row with horizontal links.
+		for x := 0; x < m.Width(); x++ {
+			fmt.Fprintf(&b, "o")
+			if x+1 < m.Width() {
+				g := glyph(linkLoad(m.NodeAt(x, y), m.NodeAt(x+1, y)))
+				fmt.Fprintf(&b, "%c%c%c", g, g, g)
+			}
+		}
+		fmt.Fprintln(&b)
+		// Vertical link row.
+		if y > 0 {
+			for x := 0; x < m.Width(); x++ {
+				g := glyph(linkLoad(m.NodeAt(x, y), m.NodeAt(x, y-1)))
+				fmt.Fprintf(&b, "%c", g)
+				if x+1 < m.Width() {
+					fmt.Fprintf(&b, "   ")
+				}
+			}
+			fmt.Fprintln(&b)
+		}
+	}
+	return b.String()
+}
+
+// Sparkline renders a numeric series as a one-line bar chart, used for the
+// Figure 5-4 injection-rate trace.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	bars := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	var b strings.Builder
+	for _, v := range values {
+		i := 0
+		if hi > lo {
+			i = int((v - lo) / (hi - lo) * float64(len(bars)-1))
+		}
+		b.WriteRune(bars[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,99 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestChartBasics(t *testing.T) {
+	s := []Series{
+		{Label: "up", X: []float64{0, 1, 2}, Y: []float64{0, 1, 2}},
+		{Label: "flat", X: []float64{0, 1, 2}, Y: []float64{1, 1, 1}},
+	}
+	out := Chart("test chart", s, 40, 10)
+	if !strings.Contains(out, "test chart") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "up") || !strings.Contains(out, "flat") {
+		t.Error("missing legend entries")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("missing series markers")
+	}
+	// Axis bounds should appear.
+	if !strings.Contains(out, "2.00") || !strings.Contains(out, "0.00") {
+		t.Error("missing axis labels")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 10 {
+		t.Errorf("chart too short: %d lines", len(lines))
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	out := Chart("empty", nil, 40, 10)
+	if !strings.Contains(out, "no data") {
+		t.Error("empty chart should say so")
+	}
+}
+
+func TestChartDegenerateRanges(t *testing.T) {
+	// Single point: both ranges degenerate; must not panic or divide by
+	// zero.
+	s := []Series{{Label: "dot", X: []float64{5}, Y: []float64{3}}}
+	out := Chart("dot", s, 20, 8)
+	if !strings.Contains(out, "*") {
+		t.Error("single point not plotted")
+	}
+}
+
+func TestChartMinimumDimensions(t *testing.T) {
+	s := []Series{{Label: "x", X: []float64{0, 1}, Y: []float64{0, 1}}}
+	out := Chart("tiny", s, 1, 1)
+	if len(out) == 0 {
+		t.Fatal("empty output")
+	}
+}
+
+func TestLoadHeatmap(t *testing.T) {
+	m := topology.NewMesh(3, 3)
+	loads := make([]float64, m.NumChannels())
+	// Load one link to the max.
+	hot := m.ChannelFromTo(m.NodeAt(0, 0), m.NodeAt(1, 0))
+	loads[hot] = 100
+	out := LoadHeatmap(m, loads)
+	if !strings.Contains(out, "max 100.00") {
+		t.Error("missing max annotation")
+	}
+	if !strings.Contains(out, "@") {
+		t.Error("hot link not rendered at full intensity")
+	}
+	// 3 node rows + 2 vertical rows + header.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 {
+		t.Errorf("heatmap has %d lines, want 6", len(lines))
+	}
+	// All-zero loads must render without dividing by zero.
+	out = LoadHeatmap(m, make([]float64, m.NumChannels()))
+	if !strings.Contains(out, "max 0.00") {
+		t.Error("zero heatmap broken")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	out := Sparkline([]float64{0, 1, 2, 3, 2, 1, 0})
+	if len([]rune(out)) != 7 {
+		t.Errorf("sparkline length %d, want 7", len([]rune(out)))
+	}
+	if Sparkline(nil) != "" {
+		t.Error("empty sparkline should be empty")
+	}
+	flat := Sparkline([]float64{5, 5, 5})
+	for _, r := range flat {
+		if r != '▁' {
+			t.Error("flat series should render lowest bars")
+		}
+	}
+}

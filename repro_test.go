@@ -1,0 +1,59 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/route"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// TestSmokePipeline exercises the whole stack once: workload -> BSOR
+// route synthesis -> deadlock validation -> cycle-accurate simulation,
+// and checks the headline reproduction facts hold end to end.
+func TestSmokePipeline(t *testing.T) {
+	m := topology.NewMesh(8, 8)
+	flows := traffic.Transpose(m, traffic.DefaultSyntheticDemand)
+
+	bsor, ex, err := core.Best(m, flows, core.Config{VCs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcl, _ := bsor.MCL()
+	if mcl != 75 {
+		t.Errorf("BSOR transpose MCL = %g (via %s), want the thesis' 75", mcl, ex.Breaker)
+	}
+	xy, err := route.XY{}.Routes(m, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xyMCL, _ := xy.MCL(); xyMCL != 175 {
+		t.Errorf("XY transpose MCL = %g, want the thesis' 175", xyMCL)
+	}
+	if err := bsor.DeadlockFree(2); err != nil {
+		t.Fatal(err)
+	}
+
+	throughput := func(set *route.Set, dynamic bool) float64 {
+		s, err := sim.New(sim.Config{
+			Mesh: m, Routes: set, VCs: 2, DynamicVC: dynamic, OfferedRate: 30,
+			WarmupCycles: 2000, MeasureCycles: 8000, Seed: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Deadlocked {
+			t.Fatal("deadlock")
+		}
+		return res.Throughput
+	}
+	if tb, tx := throughput(bsor, false), throughput(xy, true); tb <= tx {
+		t.Errorf("BSOR saturation throughput %.3f <= XY %.3f", tb, tx)
+	}
+}
