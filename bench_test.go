@@ -10,7 +10,9 @@ package repro
 // output, not just in runtime.
 
 import (
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/route"
@@ -90,16 +92,10 @@ func BenchmarkTable63(b *testing.B) {
 // BSOR-Dijkstra and XY saturation throughput.
 func benchFigure(b *testing.B, workload string) {
 	b.Helper()
-	m := topology.NewMesh(8, 8)
-	var w experiments.Workload
-	for _, cand := range experiments.Workloads(m) {
-		if cand.Name == workload {
-			w = cand
-		}
-	}
-	algs := experiments.AlgorithmSet(benchMILP(), route.DijkstraSelector{}, 2, experiments.TableBreakers())
 	for i := 0; i < b.N; i++ {
-		series, err := experiments.FigureSweep(m, w.Flows, algs, benchRates(), benchParams())
+		r := &experiments.Runner{MILP: benchMILP()}
+		series, err := r.FigureSweep(experiments.MeshSpec(8, 8), workload,
+			experiments.FigureAlgorithms(), benchRates(), benchParams())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -138,14 +134,8 @@ func BenchmarkFig66Transmitter(b *testing.B) { benchFigure(b, "transmitter") }
 // whose ratio carries the thesis' ~40% head-of-line-blocking finding.
 func BenchmarkFig67VCSweep(b *testing.B) {
 	m := topology.NewMesh(8, 8)
-	var w experiments.Workload
-	for _, cand := range experiments.Workloads(m) {
-		if cand.Name == "transpose" {
-			w = cand
-		}
-	}
 	for i := 0; i < b.N; i++ {
-		out, err := experiments.VCSweep(m, w.Flows, []int{1, 2, 4, 8}, benchRates(), benchParams())
+		out, err := experiments.VCSweep(m, "transpose", []int{1, 2, 4, 8}, benchRates(), benchParams())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -166,16 +156,10 @@ func BenchmarkFig67VCSweep(b *testing.B) {
 
 func benchVariation(b *testing.B, percent float64) {
 	b.Helper()
-	m := topology.NewMesh(8, 8)
-	var w experiments.Workload
-	for _, cand := range experiments.Workloads(m) {
-		if cand.Name == "transpose" {
-			w = cand
-		}
-	}
-	algs := experiments.AlgorithmSet(benchMILP(), route.DijkstraSelector{}, 2, experiments.TableBreakers())
 	for i := 0; i < b.N; i++ {
-		series, err := experiments.VariationSweep(m, w.Flows, algs, percent, benchRates(), benchParams())
+		r := &experiments.Runner{MILP: benchMILP()}
+		series, err := r.VariationSweep(experiments.MeshSpec(8, 8), "transpose",
+			experiments.FigureAlgorithms(), percent, benchRates(), benchParams())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -205,5 +189,34 @@ func BenchmarkFig54InjectionTrace(b *testing.B) {
 		if len(trace) != 120000 {
 			b.Fatal("short trace")
 		}
+	}
+}
+
+// BenchmarkSweepEngineSpeedup times the full six-workload x five-breaker
+// BSOR_Dijkstra CDG exploration (the Table 6.2 sweep) sequentially
+// (Workers=1) and in parallel (Workers=NumCPU) on cold caches, and
+// reports the wall-clock ratio as the "speedup" metric. On a 4-core
+// runner the parallel sweep is expected to be >= 3x faster; on a single
+// core the ratio is ~1 by construction.
+func BenchmarkSweepEngineSpeedup(b *testing.B) {
+	jobs := experiments.TableJobs("bench-speedup", experiments.MeshSpec(8, 8),
+		"BSOR-Dijkstra", experiments.TableBreakerNames(), 2)
+	run := func(workers int) (time.Duration, []experiments.Result) {
+		r := &experiments.Runner{Workers: workers}
+		start := time.Now()
+		results := r.Run(jobs)
+		return time.Since(start), results
+	}
+	for i := 0; i < b.N; i++ {
+		seqTime, seqResults := run(1)
+		parTime, parResults := run(runtime.NumCPU())
+		for j := range seqResults {
+			if seqResults[j].MCL != parResults[j].MCL {
+				b.Fatalf("parallel execution changed job %d: MCL %g vs %g",
+					j, parResults[j].MCL, seqResults[j].MCL)
+			}
+		}
+		b.ReportMetric(seqTime.Seconds()/parTime.Seconds(), "speedup")
+		b.ReportMetric(float64(runtime.NumCPU()), "cores")
 	}
 }

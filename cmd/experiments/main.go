@@ -1,41 +1,65 @@
-// Command experiments regenerates the thesis' tables and figures.
+// Command experiments regenerates the thesis' tables and figures — and the
+// extended sweeps the concurrent engine makes affordable — from declarative
+// job lists executed on a worker pool.
 //
-//	experiments -table 6.1          # min MCL per acyclic CDG, BSOR_MILP
-//	experiments -table 6.2          # same under BSOR_Dijkstra
-//	experiments -table 6.3          # MCL comparison across algorithms
-//	experiments -figure 6-1         # transpose throughput/latency sweep
+//	experiments -table 6.1            # min MCL per acyclic CDG, BSOR_MILP
+//	experiments -table 6.2            # same under BSOR_Dijkstra
+//	experiments -table 6.3            # MCL comparison across algorithms
+//	experiments -figure 6-1           # transpose throughput/latency sweep
 //	...
-//	experiments -figure 6-7         # VC sweep
-//	experiments -figure 6-8         # 10% bandwidth variation
-//	experiments -figure 5-4         # injection-rate trace
-//	experiments -all                # everything
+//	experiments -figure 6-7           # VC sweep
+//	experiments -figure 6-8           # 10% bandwidth variation
+//	experiments -figure 5-4           # injection-rate trace
+//	experiments -all                  # every thesis table and figure
 //
-// -fast trims the simulated cycle counts (useful for smoke runs); the
-// defaults are the thesis' 20k warmup + 100k measured cycles.
+//	experiments -filter 'table6.*'    # select experiments by name or glob
+//	experiments -filter torus6.2      # Table 6.2 on the 8x8 torus (dateline CDGs)
+//	experiments -filter latency-curves # fine-grained offered-rate curves
+//	experiments -filter vcsweep-all   # 1/2/4/8 VCs across all six workloads
+//	experiments -filter '*'           # everything, including extended sweeps
+//	experiments -list                 # print the experiment index
+//
+//	experiments -filter table6.2 -jobs   # print the job list as JSON, don't run
+//	experiments -filter table6.2 -json   # machine-readable results (EXPERIMENTS.md)
+//	experiments -workers 4               # worker-pool size (default NumCPU)
+//
+// -fast trims the simulated cycle counts and the MILP budget (useful for
+// smoke runs); the defaults are the thesis' 20k warmup + 100k measured
+// cycles. Results are deterministic for a given seed regardless of
+// -workers.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path"
+	"strings"
 
 	"repro/internal/experiments"
 	"repro/internal/route"
-	"repro/internal/topology"
 	"repro/internal/traffic"
 	"repro/internal/viz"
 )
 
 var (
-	fast  = flag.Bool("fast", false, "reduced cycle counts for smoke runs")
-	vcs   = flag.Int("vcs", 2, "virtual channels per link")
-	table = flag.String("table", "", "6.1 | 6.2 | 6.3")
-	fig   = flag.String("figure", "", "6-1 .. 6-10 | 5-4")
-	all   = flag.Bool("all", false, "run every table and figure")
+	fast    = flag.Bool("fast", false, "reduced cycle counts and MILP budget for smoke runs")
+	vcs     = flag.Int("vcs", 2, "virtual channels per link")
+	table   = flag.String("table", "", "6.1 | 6.2 | 6.3")
+	fig     = flag.String("figure", "", "6-1 .. 6-10 | 5-4")
+	all     = flag.Bool("all", false, "run every thesis table and figure")
+	filter  = flag.String("filter", "", "experiment name or glob to select experiments")
+	list    = flag.Bool("list", false, "print the experiment index and exit")
+	jobs    = flag.Bool("jobs", false, "print the selected experiments' job lists as JSON, without running")
+	jsonOut = flag.Bool("json", false, "print results as JSON instead of tables and charts")
+	workers = flag.Int("workers", 0, "worker-pool size (0 = NumCPU)")
 )
 
 func milpSelector() route.Selector {
-	return route.MILPSelector{HopSlack: 2, MaxPathsPerFlow: 16, Refinements: 3, MaxNodes: 120, Gap: 0.01}
+	if *fast {
+		return route.MILPSelector{HopSlack: 2, MaxPathsPerFlow: 8, Refinements: 2, MaxNodes: 40, Gap: 0.01}
+	}
+	return experiments.DefaultMILP()
 }
 
 func simParams() experiments.SimParams {
@@ -51,56 +75,246 @@ func sweepRates() []float64 {
 	return []float64{2, 5, 10, 15, 20, 25, 30, 35, 40, 50, 60}
 }
 
+func fineRates() []float64 {
+	out := make([]float64, 0, 15)
+	for r := 2.0; r <= 58; r += 4 {
+		out = append(out, r)
+	}
+	return out
+}
+
+// experiment is one entry of the registry: a named declarative job list
+// plus a pretty-printer for human-readable runs.
+type experiment struct {
+	name  string
+	title string
+	jobs  []experiments.Job
+	print func([]experiments.Result)
+	// run replaces job execution for the few non-job artifacts (fig5-4).
+	run func()
+}
+
+func mesh() experiments.TopoSpec  { return experiments.MeshSpec(8, 8) }
+func torus() experiments.TopoSpec { return experiments.TorusSpec(8, 8) }
+
+// registry builds the experiment index. Job lists are cheap to construct;
+// nothing runs until selected.
+func registry() []experiment {
+	p := simParams()
+	var exps []experiment
+	add := func(e experiment) { exps = append(exps, e) }
+
+	add(experiment{
+		name:  "table6.1",
+		title: "Table 6.1 (BSOR_MILP: min MCL per acyclic CDG, MB/s)",
+		jobs:  experiments.TableJobs("table6.1", mesh(), "BSOR-MILP", experiments.TableBreakerNames(), *vcs),
+		print: printCDGRows,
+	})
+	add(experiment{
+		name:  "table6.2",
+		title: "Table 6.2 (BSOR_Dijkstra: min MCL per acyclic CDG, MB/s)",
+		jobs:  experiments.TableJobs("table6.2", mesh(), "BSOR-Dijkstra", experiments.TableBreakerNames(), *vcs),
+		print: printCDGRows,
+	})
+	add(experiment{
+		name:  "table6.3",
+		title: "Table 6.3 (MCL in MB/s per routing algorithm)",
+		jobs: experiments.AlgoTableJobs("table6.3", mesh(), experiments.Table63Algorithms(),
+			experiments.TableBreakerNames(), *vcs),
+		print: printAlgoRows,
+	})
+	figures := []struct{ id, wl string }{
+		{"6-1", "transpose"}, {"6-2", "bit-complement"}, {"6-3", "shuffle"},
+		{"6-4", "h264"}, {"6-5", "perf-modeling"}, {"6-6", "transmitter"},
+	}
+	for _, f := range figures {
+		add(experiment{
+			name:  "fig" + f.id,
+			title: fmt.Sprintf("Figure %s (%s: throughput and average latency vs offered rate)", f.id, f.wl),
+			jobs: experiments.SweepJobs("fig"+f.id, mesh(), f.wl, experiments.FigureAlgorithms(),
+				experiments.TableBreakerNames(), sweepRates(), 0, p),
+			print: printSweep,
+		})
+	}
+	var vcJobs []experiments.Job
+	for _, wl := range []string{"transpose", "h264"} {
+		vcJobs = append(vcJobs, experiments.VCSweepJobs("fig6-7", mesh(), wl,
+			[]string{"BSOR-Dijkstra", "XY"}, []int{1, 2, 4, 8}, sweepRates(), p)...)
+	}
+	add(experiment{
+		name:  "fig6-7",
+		title: "Figure 6-7 (virtual channel sweep: transpose and h264)",
+		jobs:  vcJobs,
+		print: printVCSweep,
+	})
+	variations := []struct {
+		id  string
+		pct float64
+	}{{"6-8", 0.10}, {"6-9", 0.25}, {"6-10", 0.50}}
+	for _, v := range variations {
+		id, pct := v.id, v.pct
+		var varJobs []experiments.Job
+		for _, wl := range []string{"transpose", "h264"} {
+			varJobs = append(varJobs, experiments.SweepJobs("fig"+id, mesh(), wl,
+				experiments.FigureAlgorithms(), experiments.TableBreakerNames(),
+				sweepRates(), pct, p)...)
+		}
+		add(experiment{
+			name:  "fig" + id,
+			title: fmt.Sprintf("Figure %s (%.0f%% bandwidth variation: transpose and h264)", id, pct*100),
+			jobs:  varJobs,
+			print: printSweep,
+		})
+	}
+	add(experiment{
+		name:  "fig5-4",
+		title: "Figure 5-4 (node injection rate under 25% variation, first 2000 cycles)",
+		run:   runTrace,
+	})
+
+	// Extended sweeps the sequential engine made too slow to run. Not part
+	// of -all; select them with -filter.
+	add(experiment{
+		name:  "torus6.2",
+		title: "Torus Table 6.2 (8x8 torus, BSOR_Dijkstra: min MCL per dateline CDG, MB/s)",
+		jobs: experiments.TableJobs("torus6.2", torus(), "BSOR-Dijkstra",
+			experiments.DatelineBreakerNames(), *vcs),
+		print: printCDGRows,
+	})
+	var torusSweep []experiments.Job
+	for _, wl := range []string{"transpose", "h264"} {
+		torusSweep = append(torusSweep, experiments.SweepJobs("torus-sweep", torus(), wl,
+			[]string{"BSOR-Dijkstra", "XY"}, experiments.DatelineBreakerNames(),
+			sweepRates(), 0, p)...)
+	}
+	add(experiment{
+		name:  "torus-sweep",
+		title: "Torus sweep (8x8 torus: BSOR_Dijkstra vs XY, transpose and h264)",
+		jobs:  torusSweep,
+		print: printSweep,
+	})
+	var curves []experiments.Job
+	for _, wl := range experiments.WorkloadNames() {
+		curves = append(curves, experiments.SweepJobs("latency-curves", mesh(), wl,
+			[]string{"BSOR-Dijkstra", "XY"}, experiments.TableBreakerNames(),
+			fineRates(), 0, p)...)
+	}
+	add(experiment{
+		name:  "latency-curves",
+		title: "Offered-rate latency curves (all six workloads, fine rate grid)",
+		jobs:  curves,
+		print: printSweep,
+	})
+	var vcAll []experiments.Job
+	for _, wl := range experiments.WorkloadNames() {
+		vcAll = append(vcAll, experiments.VCSweepJobs("vcsweep-all", mesh(), wl,
+			[]string{"BSOR-Dijkstra", "XY"}, []int{1, 2, 4, 8}, []float64{10, 30, 50}, p)...)
+	}
+	add(experiment{
+		name:  "vcsweep-all",
+		title: "VC sweep across all six workloads (1/2/4/8 VCs)",
+		jobs:  vcAll,
+		print: printVCSweep,
+	})
+	return exps
+}
+
+// thesisSet is the -all selection: every table and figure of the thesis,
+// excluding the extended sweeps.
+func thesisSet(name string) bool {
+	return strings.HasPrefix(name, "table6.") || strings.HasPrefix(name, "fig")
+}
+
+func selected(name string) bool {
+	if *all && thesisSet(name) {
+		return true
+	}
+	if *table != "" && name == "table"+*table {
+		return true
+	}
+	if *fig != "" && name == "fig"+*fig {
+		return true
+	}
+	if *filter != "" {
+		// Exact name or glob only: a substring fallback would make
+		// -filter fig6-1 silently select fig6-10 too.
+		if name == *filter {
+			return true
+		}
+		if ok, err := path.Match(*filter, name); err == nil && ok {
+			return true
+		}
+	}
+	return false
+}
+
 func main() {
 	flag.Parse()
-	m := topology.NewMesh(8, 8)
+	exps := registry()
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-16s %s (%d jobs)\n", e.name, e.title, len(e.jobs))
+		}
+		return
+	}
 
+	runner := &experiments.Runner{Workers: *workers, MILP: milpSelector()}
 	ran := false
-	if *all || *table == "6.1" {
-		runTableCDG(m, "Table 6.1 (BSOR_MILP: min MCL per acyclic CDG, MB/s)", milpSelector())
-		ran = true
-	}
-	if *all || *table == "6.2" {
-		runTableCDG(m, "Table 6.2 (BSOR_Dijkstra: min MCL per acyclic CDG, MB/s)", route.DijkstraSelector{})
-		ran = true
-	}
-	if *all || *table == "6.3" {
-		runTable63(m)
-		ran = true
-	}
-	figures := map[string]string{
-		"6-1": "transpose", "6-2": "bit-complement", "6-3": "shuffle",
-		"6-4": "h264", "6-5": "perf-modeling", "6-6": "transmitter",
-	}
-	for id, wl := range figures {
-		if *all || *fig == id {
-			runFigureSweep(m, id, wl)
-			ran = true
+	var jsonResults []experiments.Result
+	var jsonJobs []experiments.Job
+	for _, e := range exps {
+		if !selected(e.name) {
+			continue
 		}
-	}
-	if *all || *fig == "6-7" {
-		runVCSweep(m)
 		ran = true
-	}
-	for id, pct := range map[string]float64{"6-8": 0.10, "6-9": 0.25, "6-10": 0.50} {
-		if *all || *fig == id {
-			runVariation(m, id, pct)
-			ran = true
+		if *jobs {
+			jsonJobs = append(jsonJobs, e.jobs...)
+			continue
 		}
-	}
-	if *all || *fig == "5-4" {
-		runTrace()
-		ran = true
+		if e.run != nil {
+			if *jsonOut {
+				fmt.Fprintf(os.Stderr, "%s has no job-based output; skipping under -json\n", e.name)
+				continue
+			}
+			fmt.Println(e.title)
+			e.run()
+			fmt.Println()
+			continue
+		}
+		results := runner.Run(e.jobs)
+		if err := experiments.FirstError(results); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *jsonOut {
+			jsonResults = append(jsonResults, results...)
+			continue
+		}
+		fmt.Println(e.title)
+		e.print(results)
+		fmt.Println()
 	}
 	if !ran {
 		flag.Usage()
 		os.Exit(1)
 	}
+	if *jobs {
+		if err := experiments.WriteJobsJSON(os.Stdout, jsonJobs); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *jsonOut {
+		if err := experiments.WriteJSON(os.Stdout, jsonResults); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 }
 
-func runTableCDG(m *topology.Mesh, title string, sel route.Selector) {
-	fmt.Println(title)
-	rows := experiments.TableCDGExploration(m, sel, *vcs)
+func printCDGRows(results []experiments.Result) {
+	rows := experiments.CDGRows(results)
 	if len(rows) > 0 {
 		fmt.Printf("%-16s", "workload")
 		for _, b := range rows[0].Breakers {
@@ -119,12 +333,10 @@ func runTableCDG(m *topology.Mesh, title string, sel route.Selector) {
 		}
 		fmt.Println()
 	}
-	fmt.Println()
 }
 
-func runTable63(m *topology.Mesh) {
-	fmt.Println("Table 6.3 (MCL in MB/s per routing algorithm)")
-	rows := experiments.Table63(m, milpSelector(), route.DijkstraSelector{}, *vcs, experiments.TableBreakers())
+func printAlgoRows(results []experiments.Result) {
+	rows := experiments.AlgoRows(results)
 	if len(rows) > 0 {
 		fmt.Printf("%-16s", "workload")
 		for _, a := range rows[0].Algorithms {
@@ -139,16 +351,29 @@ func runTable63(m *topology.Mesh) {
 		}
 		fmt.Println()
 	}
-	fmt.Println()
 }
 
-func workloadByName(m *topology.Mesh, name string) experiments.Workload {
-	for _, w := range experiments.Workloads(m) {
-		if w.Name == name {
-			return w
+// printSweep groups sim results by workload and prints one series block
+// per group, so multi-workload experiments (fig6-8, torus-sweep) read the
+// same as single-workload figures.
+func printSweep(results []experiments.Result) {
+	for _, g := range experiments.GroupResults(results, experiments.ByWorkload) {
+		fmt.Printf("%s:\n", g.Key)
+		printSeries(experiments.SeriesFrom(g.Results))
+	}
+}
+
+func printVCSweep(results []experiments.Result) {
+	for _, g := range experiments.GroupResults(results, experiments.ByWorkload) {
+		byVC := experiments.SeriesByVC(g.Results)
+		for _, vc := range []int{1, 2, 4, 8} {
+			if len(byVC[vc]) == 0 {
+				continue
+			}
+			fmt.Printf("%s, %d VCs:\n", g.Key, vc)
+			printSeries(byVC[vc])
 		}
 	}
-	panic("unknown workload " + name)
 }
 
 func printSeries(series []experiments.Series) {
@@ -180,51 +405,7 @@ func printSeries(series []experiments.Series) {
 	fmt.Println(viz.Chart("average latency (cycles) vs offered rate", lat, 60, 14))
 }
 
-func runFigureSweep(m *topology.Mesh, id, workload string) {
-	fmt.Printf("Figure %s (%s: throughput and average latency vs offered rate)\n", id, workload)
-	w := workloadByName(m, workload)
-	algs := experiments.AlgorithmSet(milpSelector(), route.DijkstraSelector{}, *vcs, experiments.TableBreakers())
-	series, err := experiments.FigureSweep(m, w.Flows, algs, sweepRates(), simParams())
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	printSeries(series)
-}
-
-func runVCSweep(m *topology.Mesh) {
-	fmt.Println("Figure 6-7 (virtual channel sweep: transpose and h264)")
-	for _, wl := range []string{"transpose", "h264"} {
-		w := workloadByName(m, wl)
-		out, err := experiments.VCSweep(m, w.Flows, []int{1, 2, 4, 8}, sweepRates(), simParams())
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		for _, vc := range []int{1, 2, 4, 8} {
-			fmt.Printf("%s, %d VCs:\n", wl, vc)
-			printSeries(out[vc])
-		}
-	}
-}
-
-func runVariation(m *topology.Mesh, id string, pct float64) {
-	fmt.Printf("Figure %s (%.0f%% bandwidth variation: transpose and h264)\n", id, pct*100)
-	algs := experiments.AlgorithmSet(milpSelector(), route.DijkstraSelector{}, *vcs, experiments.TableBreakers())
-	for _, wl := range []string{"transpose", "h264"} {
-		w := workloadByName(m, wl)
-		series, err := experiments.VariationSweep(m, w.Flows, algs, pct, sweepRates(), simParams())
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Printf("%s:\n", wl)
-		printSeries(series)
-	}
-}
-
 func runTrace() {
-	fmt.Println("Figure 5-4 (node injection rate under 25% variation, first 2000 cycles)")
 	trace := experiments.InjectionTrace(traffic.DefaultSyntheticDemand, 0.25, 2000, 52)
 	for i := 0; i < len(trace); i += 100 {
 		fmt.Printf("  cycle %5d: %6.2f MB/s\n", i, trace[i])

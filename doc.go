@@ -9,7 +9,11 @@
 //
 // See README.md for a tour, DESIGN.md for the system inventory and
 // experiment index, and EXPERIMENTS.md for paper-versus-measured results.
-// The root-level benchmarks (bench_test.go) regenerate each table and
-// figure of the thesis' evaluation chapter; cmd/experiments prints them in
-// full.
+// The evaluation runs on the concurrent sweep engine of
+// internal/experiments: declarative job lists executed on a worker pool
+// with memoized route synthesis and per-job seeding, so results are
+// deterministic for any worker count. The root-level benchmarks
+// (bench_test.go) regenerate each table and figure of the thesis'
+// evaluation chapter; cmd/experiments prints them in full and emits
+// machine-readable JSON with -json.
 package repro

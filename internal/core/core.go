@@ -78,13 +78,21 @@ type Explored struct {
 
 // Explore runs the configured selector under every breaker and returns
 // one Explored per breaker, in breaker order.
-func Explore(m *topology.Mesh, flows []flowgraph.Flow, cfg Config) []Explored {
+func Explore(t topology.Topology, flows []flowgraph.Flow, cfg Config) []Explored {
 	cfg = cfg.withDefaults(flows)
-	full := cdg.NewFull(m, cfg.VCs)
+	full := cdg.NewFull(t, cfg.VCs)
 	results := make([]Explored, 0, len(cfg.Breakers))
 	for _, b := range cfg.Breakers {
 		ex := Explored{Breaker: b.Name()}
 		dag := b.Break(full)
+		if !dag.IsAcyclic() {
+			// A mesh turn rule applied to a torus leaves the wraparound
+			// ring cycles intact; report it instead of letting flowgraph
+			// panic.
+			ex.Err = fmt.Errorf("core: breaker %s left the CDG cyclic on this topology", b.Name())
+			results = append(results, ex)
+			continue
+		}
 		g := flowgraph.New(dag, flows, cfg.ChannelCapacity)
 		set, err := cfg.Selector.Select(g)
 		if err != nil {
@@ -108,9 +116,9 @@ func Explore(m *topology.Mesh, flows []flowgraph.Flow, cfg Config) []Explored {
 // Best explores all breakers and returns the route set with the smallest
 // MCL (ties broken by smaller average hop count, then breaker order),
 // fully validated: structurally sound, CDG-conformant, and deadlock free.
-func Best(m *topology.Mesh, flows []flowgraph.Flow, cfg Config) (*route.Set, Explored, error) {
+func Best(t topology.Topology, flows []flowgraph.Flow, cfg Config) (*route.Set, Explored, error) {
 	cfg = cfg.withDefaults(flows)
-	results := Explore(m, flows, cfg)
+	results := Explore(t, flows, cfg)
 	best := -1
 	for i, ex := range results {
 		if ex.Err != nil {
@@ -154,7 +162,7 @@ func (b BSOR) Name() string {
 }
 
 // Routes implements route.Algorithm.
-func (b BSOR) Routes(m *topology.Mesh, flows []flowgraph.Flow) (*route.Set, error) {
-	set, _, err := Best(m, flows, b.Config)
+func (b BSOR) Routes(g topology.Grid, flows []flowgraph.Flow) (*route.Set, error) {
+	set, _, err := Best(g, flows, b.Config)
 	return set, err
 }

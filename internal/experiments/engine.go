@@ -1,0 +1,518 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cdg"
+	"repro/internal/core"
+	"repro/internal/route"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// JobKind classifies what a Job measures.
+type JobKind string
+
+// The two job kinds: KindMCL jobs stop after route synthesis and report
+// the maximum channel load; KindSim jobs additionally run the
+// cycle-accurate simulator at one offered-rate point.
+const (
+	KindMCL JobKind = "mcl"
+	KindSim JobKind = "sim"
+)
+
+// TopoSpec declares a topology by name and dimensions, so that a Job is
+// fully serializable. The zero value defaults to the thesis' 8x8 mesh.
+type TopoSpec struct {
+	// Kind is "mesh" or "torus".
+	Kind string `json:"kind"`
+	// Width and Height are the grid dimensions.
+	Width  int `json:"width"`
+	Height int `json:"height"`
+}
+
+// MeshSpec declares a width x height mesh.
+func MeshSpec(width, height int) TopoSpec {
+	return TopoSpec{Kind: "mesh", Width: width, Height: height}
+}
+
+// TorusSpec declares a width x height torus.
+func TorusSpec(width, height int) TopoSpec {
+	return TopoSpec{Kind: "torus", Width: width, Height: height}
+}
+
+func (t TopoSpec) withDefaults() TopoSpec {
+	if t.Kind == "" {
+		t.Kind = "mesh"
+	}
+	if t.Width == 0 {
+		t.Width = 8
+	}
+	if t.Height == 0 {
+		t.Height = 8
+	}
+	return t
+}
+
+// Build constructs the declared topology.
+func (t TopoSpec) Build() (topology.Grid, error) {
+	t = t.withDefaults()
+	switch t.Kind {
+	case "mesh":
+		return topology.NewMesh(t.Width, t.Height), nil
+	case "torus":
+		return topology.NewTorus(t.Width, t.Height), nil
+	}
+	return nil, fmt.Errorf("experiments: unknown topology kind %q", t.Kind)
+}
+
+// String returns a compact label such as "mesh8x8".
+func (t TopoSpec) String() string {
+	t = t.withDefaults()
+	return fmt.Sprintf("%s%dx%d", t.Kind, t.Width, t.Height)
+}
+
+// SpecOf recovers the TopoSpec of a built grid.
+func SpecOf(g topology.Grid) TopoSpec {
+	kind := "mesh"
+	if _, ok := g.(*topology.Torus); ok {
+		kind = "torus"
+	}
+	return TopoSpec{Kind: kind, Width: g.Width(), Height: g.Height()}
+}
+
+// Job is one point of an experiment sweep: a workload routed by one
+// algorithm on one topology, optionally simulated at one offered-rate
+// point. Jobs are plain data — they name their topology, workload,
+// algorithm, and CDG breakers rather than holding the objects — so a job
+// list can be printed, filtered, diffed, and re-run (cmd/experiments
+// -jobs / -json / -filter).
+type Job struct {
+	// Experiment tags the job with the table or figure it belongs to
+	// (e.g. "table6.2", "fig6-1").
+	Experiment string `json:"experiment"`
+	// Kind selects MCL-only or simulated execution.
+	Kind JobKind `json:"kind"`
+	// Topo declares the network.
+	Topo TopoSpec `json:"topo"`
+	// Workload names one of the six evaluation workloads.
+	Workload string `json:"workload"`
+	// Algorithm names the routing algorithm: "BSOR-MILP", "BSOR-Dijkstra",
+	// or one of the baselines ("XY", "YX", "ROMM", "Valiant", "O1TURN").
+	Algorithm string `json:"algorithm"`
+	// Breakers lists the acyclic-CDG strategies a BSOR algorithm explores,
+	// by name. Empty means the topology's default set: the standard fifteen
+	// on a mesh, the twelve dateline rules on a torus. Baselines ignore it.
+	Breakers []string `json:"breakers,omitempty"`
+	// VCs is the virtual channel count for synthesis and simulation.
+	VCs int `json:"vcs"`
+	// Rate is the offered injection rate (packets/cycle) of a KindSim job.
+	Rate float64 `json:"rate,omitempty"`
+	// Variation enables the ±percent Markov-modulated bandwidth variation
+	// of §5.3 for a KindSim job (0.10, 0.25, 0.50 in the thesis).
+	Variation float64 `json:"variation,omitempty"`
+	// Warmup and Measure are the simulated cycle counts of a KindSim job.
+	Warmup  int64 `json:"warmup,omitempty"`
+	Measure int64 `json:"measure,omitempty"`
+	// Seed is the base random seed. The simulator seed is derived as
+	// Seed + int64(Rate*1000) — the same per-point derivation the
+	// sequential generators used — so results are identical no matter how
+	// jobs are scheduled across workers.
+	Seed int64 `json:"seed"`
+}
+
+// synthKey identifies the route-synthesis work a job needs; jobs sharing
+// a key share one cached synthesis.
+func (j Job) synthKey() string {
+	key := j.Topo.String() + "|" + j.Workload + "|" + j.Algorithm + "|" + fmt.Sprint(j.VCs)
+	for _, b := range j.Breakers {
+		key += "|" + b
+	}
+	return key
+}
+
+// Result is the outcome of one Job. Results carry only deterministic
+// values (no timestamps or durations), so a result list marshals to
+// byte-identical JSON regardless of worker count.
+type Result struct {
+	// Job echoes the job that produced this result.
+	Job Job `json:"job"`
+	// MCL is the maximum channel load of the synthesized route set, in the
+	// demand unit (MB/s); -1 when synthesis failed.
+	MCL float64 `json:"mcl"`
+	// AvgHops is the mean route length of the synthesized set.
+	AvgHops float64 `json:"avg_hops,omitempty"`
+	// Breaker names the acyclic CDG behind the chosen route set (the
+	// winning one when several were explored).
+	Breaker string `json:"breaker,omitempty"`
+	// Point holds the simulation sample of a KindSim job.
+	Point *SweepPoint `json:"point,omitempty"`
+	// Err describes why the job produced no measurement (e.g. an ad hoc
+	// CDG disconnected a flow).
+	Err string `json:"err,omitempty"`
+}
+
+// WriteJSON writes results as indented JSON. The output is deterministic:
+// same jobs and seeds produce byte-identical bytes however many workers
+// executed them.
+func WriteJSON(w io.Writer, results []Result) error {
+	if results == nil {
+		results = []Result{} // marshal as [], not null
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}
+
+// WriteJobsJSON writes a job list as indented JSON (cmd/experiments
+// -jobs).
+func WriteJobsJSON(w io.Writer, jobs []Job) error {
+	if jobs == nil {
+		jobs = []Job{} // marshal as [], not null
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jobs)
+}
+
+// synthesis is one memoized route-synthesis outcome.
+type synthesis struct {
+	once    sync.Once
+	set     *route.Set
+	mcl     float64
+	avgHops float64
+	breaker string
+	err     error
+}
+
+// synthCache memoizes route synthesis per Job.synthKey, so the expensive
+// BSOR exploration (MILP or Dijkstra over many CDGs) runs once per unique
+// (topology, workload, algorithm, VCs, breakers) combination and is
+// shared by every simulation point that reuses it — concurrently: the
+// first job to need a key computes it under a sync.Once while others
+// block only on that entry.
+type synthCache struct {
+	mu       sync.Mutex
+	entries  map[string]*synthesis
+	computes atomic.Int64
+}
+
+func (c *synthCache) get(key string, compute func() (*route.Set, float64, float64, string, error)) *synthesis {
+	c.mu.Lock()
+	if c.entries == nil {
+		c.entries = make(map[string]*synthesis)
+	}
+	e := c.entries[key]
+	if e == nil {
+		e = &synthesis{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		c.computes.Add(1)
+		e.set, e.mcl, e.avgHops, e.breaker, e.err = compute()
+	})
+	return e
+}
+
+// Runner executes job lists on a worker pool. The zero value is ready to
+// use; a Runner may execute any number of Run calls and shares its
+// route-synthesis cache across all of them, so e.g. the table jobs warm
+// the cache for the figure sweeps. All exported fields must be set before
+// the first Run call.
+type Runner struct {
+	// Workers is the worker-pool size; 0 means runtime.NumCPU().
+	Workers int
+	// MILP is the selector behind "BSOR-MILP" jobs; nil means DefaultMILP.
+	MILP route.Selector
+	// Dijkstra is the selector behind "BSOR-Dijkstra" jobs; nil means
+	// route.DijkstraSelector{}.
+	Dijkstra route.Selector
+
+	cache synthCache
+
+	topoMu sync.Mutex
+	topos  map[string]topology.Grid
+}
+
+// NewRunner returns a Runner with default selectors and worker count.
+func NewRunner() *Runner { return &Runner{} }
+
+// DefaultMILP is the MILP budget used when Runner.MILP is nil: the
+// published-quality setting of cmd/experiments.
+func DefaultMILP() route.Selector {
+	return route.MILPSelector{HopSlack: 2, MaxPathsPerFlow: 16, Refinements: 3, MaxNodes: 120, Gap: 0.01}
+}
+
+// SynthesisCount reports how many route syntheses the cache has computed
+// (not served); the cache-hit tests pin it to the number of unique keys.
+func (r *Runner) SynthesisCount() int64 { return r.cache.computes.Load() }
+
+// Run executes jobs on the worker pool and returns one Result per job, in
+// job order — the ordering is independent of scheduling and completion
+// order, and every random stream is derived from the job itself, so a
+// run's numbers never depend on the worker count.
+func (r *Runner) Run(jobs []Job) []Result {
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	results := make([]Result, len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = r.exec(jobs[i])
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+// grid returns the (cached) topology instance of a spec, so concurrent
+// jobs on the same topology share one immutable grid.
+func (r *Runner) grid(spec TopoSpec) (topology.Grid, error) {
+	key := spec.String()
+	r.topoMu.Lock()
+	defer r.topoMu.Unlock()
+	if g, ok := r.topos[key]; ok {
+		return g, nil
+	}
+	g, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	if r.topos == nil {
+		r.topos = make(map[string]topology.Grid)
+	}
+	r.topos[key] = g
+	return g, nil
+}
+
+// exec runs one job end to end. Panics from incompatible job parameters
+// (e.g. an application workload placed on a too-small grid) are captured
+// as per-job error results so one bad job cannot take down a sweep.
+func (r *Runner) exec(j Job) (res Result) {
+	defer func() {
+		if p := recover(); p != nil {
+			res = Result{Job: j, MCL: -1, Err: fmt.Sprint(p)}
+		}
+	}()
+	res = Result{Job: j, MCL: -1}
+	g, err := r.grid(j.Topo)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	syn := r.cache.get(j.synthKey(), func() (set *route.Set, mcl, hops float64, breaker string, err error) {
+		// Convert synthesis panics into errors inside the once, so the
+		// cached entry records the failure instead of a half-built value.
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("experiments: synthesis panic: %v", p)
+			}
+		}()
+		return r.synthesize(g, j)
+	})
+	if syn.err != nil {
+		res.Err = syn.err.Error()
+		return res
+	}
+	res.MCL, res.AvgHops, res.Breaker = syn.mcl, syn.avgHops, syn.breaker
+	if j.Kind != KindSim {
+		return res
+	}
+	point, err := r.simulate(g, syn.set, j)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	res.Point = point
+	return res
+}
+
+// synthesize computes the route set of a job (uncached path).
+func (r *Runner) synthesize(g topology.Grid, j Job) (*route.Set, float64, float64, string, error) {
+	flows, err := workloadFlows(g, j.Workload)
+	if err != nil {
+		return nil, 0, 0, "", err
+	}
+	alg, err := r.algorithm(j)
+	if err != nil {
+		return nil, 0, 0, "", err
+	}
+	if bsor, ok := alg.(core.BSOR); ok {
+		// Keep the winning breaker name, which plain Algorithm.Routes
+		// discards.
+		set, ex, err := core.Best(g, flows, bsor.Config)
+		if err != nil {
+			return nil, 0, 0, "", err
+		}
+		mcl, _ := set.MCL()
+		return set, mcl, set.AvgHops(), ex.Breaker, nil
+	}
+	set, err := alg.Routes(g, flows)
+	if err != nil {
+		return nil, 0, 0, "", err
+	}
+	mcl, _ := set.MCL()
+	return set, mcl, set.AvgHops(), "", nil
+}
+
+// algorithm resolves a job's algorithm name to a runnable route.Algorithm.
+func (r *Runner) algorithm(j Job) (route.Algorithm, error) {
+	bsor := func(sel route.Selector, label string) (route.Algorithm, error) {
+		breakers, err := resolveBreakers(j)
+		if err != nil {
+			return nil, err
+		}
+		return core.BSOR{Label: label, Config: core.Config{
+			VCs: j.VCs, Selector: sel, Breakers: breakers,
+		}}, nil
+	}
+	switch j.Algorithm {
+	case "BSOR-MILP":
+		sel := r.MILP
+		if sel == nil {
+			sel = DefaultMILP()
+		}
+		return bsor(sel, j.Algorithm)
+	case "BSOR-Dijkstra":
+		sel := r.Dijkstra
+		if sel == nil {
+			sel = route.DijkstraSelector{}
+		}
+		return bsor(sel, j.Algorithm)
+	case "XY":
+		return route.XY{}, nil
+	case "YX":
+		return route.YX{}, nil
+	case "ROMM":
+		return route.ROMM{Seed: 1}, nil
+	case "Valiant":
+		return route.Valiant{Seed: 1}, nil
+	case "O1TURN":
+		return route.O1TURN{Seed: 1}, nil
+	}
+	return nil, fmt.Errorf("experiments: unknown algorithm %q", j.Algorithm)
+}
+
+// simulate runs the cycle-accurate simulator for one KindSim job.
+func (r *Runner) simulate(g topology.Grid, set *route.Set, j Job) (*SweepPoint, error) {
+	var variation func(flow int) float64
+	if j.Variation > 0 {
+		mmps := make([]*traffic.MMP, len(set.Routes))
+		for i, rt := range set.Routes {
+			mmps[i] = traffic.NewMMP(rt.Flow.Demand, j.Variation, 500, j.Seed+int64(i))
+		}
+		variation = func(flow int) float64 { return mmps[flow].Advance() }
+	}
+	s, err := sim.New(sim.Config{
+		Mesh: g, Routes: set, VCs: j.VCs,
+		DynamicVC:     dynamicVC(j.Algorithm),
+		OfferedRate:   j.Rate,
+		WarmupCycles:  j.Warmup,
+		MeasureCycles: j.Measure,
+		Seed:          j.Seed + int64(j.Rate*1000),
+		RateVariation: variation,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.Run()
+	if err != nil {
+		return nil, err
+	}
+	return &SweepPoint{
+		Offered: j.Rate, Throughput: res.Throughput,
+		AvgLatency: res.AvgLatency, LatencyStd: res.LatencyStd,
+		LatencyP99: res.LatencyP99, Deadlocked: res.Deadlocked,
+	}, nil
+}
+
+// breaker registry ------------------------------------------------------
+
+var breakerRegistry = sync.OnceValue(func() map[string]cdg.Breaker {
+	reg := make(map[string]cdg.Breaker)
+	for _, b := range cdg.StandardBreakers() {
+		reg[b.Name()] = b
+	}
+	for _, rule := range cdg.TwelveTurnRules() {
+		b := cdg.DatelineBreaker{Rule: rule}
+		reg[b.Name()] = b
+	}
+	return reg
+})
+
+// BreakerByName resolves an acyclic-CDG strategy name (as reported by
+// Breaker.Name) to its implementation: the standard fifteen mesh breakers
+// plus the twelve dateline rules for tori.
+func BreakerByName(name string) (cdg.Breaker, error) {
+	if b, ok := breakerRegistry()[name]; ok {
+		return b, nil
+	}
+	return nil, fmt.Errorf("experiments: unknown breaker %q", name)
+}
+
+// BreakerNames returns the names of a breaker list, for building jobs.
+func BreakerNames(bs []cdg.Breaker) []string {
+	names := make([]string, len(bs))
+	for i, b := range bs {
+		names[i] = b.Name()
+	}
+	return names
+}
+
+// DatelineBreakerNames returns the names of the twelve dateline breakers
+// (one per systematic turn rule) that make torus CDGs acyclic.
+func DatelineBreakerNames() []string {
+	rules := cdg.TwelveTurnRules()
+	names := make([]string, len(rules))
+	for i, rule := range rules {
+		names[i] = cdg.DatelineBreaker{Rule: rule}.Name()
+	}
+	return names
+}
+
+// resolveBreakers maps a job's breaker names to implementations; an empty
+// list selects the topology's default set (standard fifteen on a mesh,
+// the twelve dateline rules on a torus).
+func resolveBreakers(j Job) ([]cdg.Breaker, error) {
+	names := j.Breakers
+	if len(names) == 0 {
+		if j.Topo.withDefaults().Kind == "torus" {
+			names = DatelineBreakerNames()
+		} else {
+			return nil, nil // core's default: cdg.StandardBreakers
+		}
+	}
+	bs := make([]cdg.Breaker, len(names))
+	for i, n := range names {
+		b, err := BreakerByName(n)
+		if err != nil {
+			return nil, err
+		}
+		bs[i] = b
+	}
+	return bs, nil
+}

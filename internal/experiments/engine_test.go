@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+// detJobs is a small mixed job list (MCL cells + sim points) used by the
+// determinism tests.
+func detJobs() []Job {
+	p := fastParams()
+	jobs := TableJobs("det-table", MeshSpec(8, 8), "BSOR-Dijkstra",
+		TableBreakerNames(), 2)
+	jobs = append(jobs, SweepJobs("det-sweep", MeshSpec(8, 8), "perf-modeling",
+		[]string{"BSOR-Dijkstra", "XY"}, TableBreakerNames(), []float64{2, 8}, 0, p)...)
+	jobs = append(jobs, SweepJobs("det-var", MeshSpec(8, 8), "transmitter",
+		[]string{"XY"}, nil, []float64{5}, 0.25, p)...)
+	return jobs
+}
+
+// TestRunDeterministicAcrossWorkers pins the engine's core guarantee:
+// the same jobs produce byte-identical JSON whether executed by one
+// worker or many, because results are ordered by job and every random
+// stream is seeded from the job itself. CI reruns the package under
+// -cpu 1,4 -race.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	jobs := detJobs()
+	var outs [][]byte
+	for _, workers := range []int{1, 4} {
+		r := &Runner{Workers: workers}
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, r.Run(jobs)); err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, buf.Bytes())
+	}
+	if !bytes.Equal(outs[0], outs[1]) {
+		t.Fatalf("results differ between 1 and 4 workers:\n--- 1 worker ---\n%s\n--- 4 workers ---\n%s",
+			outs[0], outs[1])
+	}
+}
+
+// TestSynthesisCachedOncePerKey pins the memoization contract: a sweep of
+// A algorithms across R rates synthesizes routes exactly A times, and
+// re-running the same jobs on the same Runner synthesizes nothing new.
+func TestSynthesisCachedOncePerKey(t *testing.T) {
+	r := &Runner{Workers: 4}
+	jobs := SweepJobs("cache", MeshSpec(8, 8), "transmitter",
+		[]string{"BSOR-Dijkstra", "XY", "YX"}, TableBreakerNames(),
+		[]float64{2, 5, 8}, 0, fastParams())
+	results := r.Run(jobs)
+	if err := FirstError(results); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.SynthesisCount(); got != 3 {
+		t.Errorf("synthesis ran %d times for 3 algorithms x 3 rates, want 3", got)
+	}
+	r.Run(jobs)
+	if got := r.SynthesisCount(); got != 3 {
+		t.Errorf("re-run recomputed synthesis: count %d, want 3", got)
+	}
+	// A different VC count is a different key.
+	p := fastParams()
+	p.VCs = 4
+	r.Run(SweepJobs("cache", MeshSpec(8, 8), "transmitter",
+		[]string{"XY"}, nil, []float64{2}, 0, p))
+	if got := r.SynthesisCount(); got != 4 {
+		t.Errorf("distinct key not recomputed: count %d, want 4", got)
+	}
+}
+
+// TestEngineMatchesSequentialExploration checks the engine's table path
+// against a direct sequential core.Explore over the same breakers: the
+// concurrent refactor must not change a single MCL.
+func TestEngineMatchesSequentialExploration(t *testing.T) {
+	m := topology.NewMesh(8, 8)
+	rows := TableCDGExploration(m, nil, 2)
+	byName := map[string]CDGRow{}
+	for _, r := range rows {
+		byName[r.Workload] = r
+	}
+	for _, wl := range []string{"transmitter", "h264"} {
+		flows, err := workloadFlows(m, wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq := core.Explore(m, flows, core.Config{VCs: 2, Breakers: TableBreakers()})
+		row := byName[wl]
+		if len(row.MCL) != len(seq) {
+			t.Fatalf("%s: %d cells, want %d", wl, len(row.MCL), len(seq))
+		}
+		for i, ex := range seq {
+			want := ex.MCL
+			if ex.Err != nil {
+				want = -1
+			}
+			if row.MCL[i] != want {
+				t.Errorf("%s under %s: engine MCL %g, sequential %g",
+					wl, row.Breakers[i], row.MCL[i], want)
+			}
+		}
+	}
+}
+
+// TestTorusJobs exercises the torus axis of the sweep space: dateline
+// CDGs admit deadlock-free routes for a bit-permutation workload, and the
+// route set simulates without deadlocking.
+func TestTorusJobs(t *testing.T) {
+	p := fastParams()
+	breakers := DatelineBreakerNames()[:2]
+	jobs := TableJobs("torus-table", TorusSpec(4, 4), "BSOR-Dijkstra", breakers, 2)
+	jobs = append(jobs, SweepJobs("torus-sweep", TorusSpec(4, 4), "transpose",
+		[]string{"BSOR-Dijkstra"}, breakers, []float64{2}, 0, p)...)
+	results := (&Runner{Workers: 4}).Run(jobs)
+	if err := FirstError(results); err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range results {
+		if res.Job.Kind == KindMCL && res.Err == "" && res.MCL <= 0 {
+			t.Errorf("torus %s/%s: MCL %g", res.Job.Workload, res.Job.Breakers, res.MCL)
+		}
+	}
+	series := SeriesFrom(results)
+	if len(series) != 1 || len(series[0].Points) != 1 {
+		t.Fatalf("torus sweep shape: %+v", series)
+	}
+	if pt := series[0].Points[0]; pt.Deadlocked || pt.Throughput <= 0 {
+		t.Errorf("torus simulation unhealthy: %+v", pt)
+	}
+}
+
+// TestTorusFigureSweepWrapper pins that the high-level sweep wrappers
+// pick the dateline breaker set on a torus instead of the mesh turn
+// rules (which cannot break wraparound ring cycles).
+func TestTorusFigureSweepWrapper(t *testing.T) {
+	r := &Runner{Workers: 4}
+	series, err := r.FigureSweep(TorusSpec(4, 4), "transpose",
+		[]string{"BSOR-Dijkstra", "XY"}, []float64{2}, fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("%d series, want 2", len(series))
+	}
+	for _, s := range series {
+		if len(s.Points) != 1 || s.Points[0].Deadlocked || s.Points[0].Throughput <= 0 {
+			t.Errorf("%s on torus: %+v", s.Algorithm, s.Points)
+		}
+	}
+}
+
+// TestExploreReportsCyclicCDG pins the core-level guard: a mesh turn
+// rule applied to a torus is reported as a per-breaker error, not a
+// panic or a silent MCL.
+func TestExploreReportsCyclicCDG(t *testing.T) {
+	jobs := TableJobs("cyclic", TorusSpec(4, 4), "BSOR-Dijkstra",
+		TableBreakerNames()[:1], 2) // N-last cannot break torus rings
+	for _, res := range (&Runner{Workers: 1}).Run(jobs) {
+		if res.Err == "" || res.MCL >= 0 {
+			t.Errorf("%s: cyclic CDG not reported: mcl=%g err=%q",
+				res.Job.Workload, res.MCL, res.Err)
+		}
+	}
+}
+
+// TestSmallSweepRace runs a mixed concurrent sweep purely for the race
+// detector (CI runs this package under -race): table cells, figure
+// points, and a variation point all share the cache and grids.
+func TestSmallSweepRace(t *testing.T) {
+	r := &Runner{Workers: 8}
+	results := r.Run(detJobs())
+	if err := FirstError(results); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(detJobs()) {
+		t.Fatalf("%d results for %d jobs", len(results), len(detJobs()))
+	}
+}
+
+// TestBreakerRegistry pins name resolution for every standard and
+// dateline breaker, plus the unknown-name error path.
+func TestBreakerRegistry(t *testing.T) {
+	for _, name := range append(TableBreakerNames(), DatelineBreakerNames()...) {
+		b, err := BreakerByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Name() != name {
+			t.Errorf("BreakerByName(%q).Name() = %q", name, b.Name())
+		}
+	}
+	if _, err := BreakerByName("no-such-breaker"); err == nil {
+		t.Error("unknown breaker accepted")
+	}
+}
+
+// TestUnknownJobFields verifies that bad workload/algorithm/topology
+// names surface as per-job errors, not panics.
+func TestUnknownJobFields(t *testing.T) {
+	r := &Runner{Workers: 2}
+	jobs := []Job{
+		{Experiment: "bad", Kind: KindMCL, Workload: "no-such-workload", Algorithm: "XY", VCs: 2},
+		{Experiment: "bad", Kind: KindMCL, Workload: "transpose", Algorithm: "no-such-algorithm", VCs: 2},
+		{Experiment: "bad", Kind: KindMCL, Topo: TopoSpec{Kind: "hypercube"}, Workload: "transpose", Algorithm: "XY", VCs: 2},
+	}
+	for i, res := range r.Run(jobs) {
+		if res.Err == "" {
+			t.Errorf("job %d: expected an error result", i)
+		}
+		if res.MCL >= 0 {
+			t.Errorf("job %d: MCL %g for a failed job", i, res.MCL)
+		}
+	}
+}

@@ -1,39 +1,78 @@
 // Package experiments regenerates every table and figure of the thesis'
-// evaluation (chapter 6). Each exported function corresponds to one table
-// or figure; cmd/experiments prints them and the root benchmark suite
-// wraps them. DESIGN.md carries the experiment index; EXPERIMENTS.md
-// records paper-versus-measured values.
+// evaluation (chapter 6) on a concurrent sweep engine.
+//
+// Each experiment is a declarative list of Jobs — (workload, topology,
+// algorithm, CDG breakers, VC count, offered-rate point) tuples — executed
+// by a worker-pool Runner. Route synthesis, the expensive step, is
+// memoized per unique (topology, workload, algorithm, VCs, breakers) key
+// and shared across every simulation point that reuses it, and every
+// random stream is seeded from the job itself, so results are
+// deterministic and identical for any worker count. The exported Table*
+// and *Sweep functions are thin job-list wrappers kept for the root
+// benchmark suite; cmd/experiments drives the same jobs with -jobs,
+// -json, and -filter for machine-readable sweeps.
+//
+// DESIGN.md carries the experiment index and the engine's design;
+// EXPERIMENTS.md records paper-versus-measured values.
 package experiments
 
 import (
 	"fmt"
 
 	"repro/internal/cdg"
-	"repro/internal/core"
 	"repro/internal/flowgraph"
 	"repro/internal/route"
-	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/traffic"
 )
 
 // Workload is one of the six evaluation workloads.
 type Workload struct {
-	Name  string
-	Flows []flowgraph.Flow
+	// Name identifies the workload in jobs and tables.
+	Name string `json:"name"`
+	// Flows are the workload's bandwidth-annotated flows.
+	Flows []flowgraph.Flow `json:"-"`
 }
 
-// Workloads returns the thesis' six workloads on the 8x8 mesh: three
-// synthetic patterns at 25 MB/s per flow and three profiled applications.
-func Workloads(m *topology.Mesh) []Workload {
+// WorkloadNames lists the six workloads in the thesis' order.
+func WorkloadNames() []string {
+	return []string{"transpose", "bit-complement", "shuffle",
+		"h264", "perf-modeling", "transmitter"}
+}
+
+// Workloads returns the thesis' six workloads on an 8x8 grid (mesh or
+// torus): three synthetic patterns at 25 MB/s per flow and three profiled
+// applications.
+func Workloads(g topology.Grid) []Workload {
 	return []Workload{
-		{"transpose", traffic.Transpose(m, traffic.DefaultSyntheticDemand)},
-		{"bit-complement", traffic.BitComplement(m, traffic.DefaultSyntheticDemand)},
-		{"shuffle", traffic.Shuffle(m, traffic.DefaultSyntheticDemand)},
-		{"h264", traffic.H264Decoder(m).Flows},
-		{"perf-modeling", traffic.PerfModeling(m).Flows},
-		{"transmitter", traffic.Transmitter80211(m).Flows},
+		{"transpose", traffic.Transpose(g, traffic.DefaultSyntheticDemand)},
+		{"bit-complement", traffic.BitComplement(g, traffic.DefaultSyntheticDemand)},
+		{"shuffle", traffic.Shuffle(g, traffic.DefaultSyntheticDemand)},
+		{"h264", traffic.H264Decoder(g).Flows},
+		{"perf-modeling", traffic.PerfModeling(g).Flows},
+		{"transmitter", traffic.Transmitter80211(g).Flows},
 	}
+}
+
+// workloadFlows builds one named workload on g — only the one asked for,
+// since the applications require a grid large enough for their placements
+// and must not be constructed for jobs that never use them.
+func workloadFlows(g topology.Grid, name string) ([]flowgraph.Flow, error) {
+	switch name {
+	case "transpose":
+		return traffic.Transpose(g, traffic.DefaultSyntheticDemand), nil
+	case "bit-complement":
+		return traffic.BitComplement(g, traffic.DefaultSyntheticDemand), nil
+	case "shuffle":
+		return traffic.Shuffle(g, traffic.DefaultSyntheticDemand), nil
+	case "h264":
+		return traffic.H264Decoder(g).Flows, nil
+	case "perf-modeling":
+		return traffic.PerfModeling(g).Flows, nil
+	case "transmitter":
+		return traffic.Transmitter80211(g).Flows, nil
+	}
+	return nil, fmt.Errorf("experiments: unknown workload %q", name)
 }
 
 // TableBreakers are the five acyclic-CDG columns of Tables 6.1 and 6.2.
@@ -49,100 +88,105 @@ func TableBreakers() []cdg.Breaker {
 	}
 }
 
+// TableBreakerNames returns the names of TableBreakers, for building jobs.
+func TableBreakerNames() []string { return BreakerNames(TableBreakers()) }
+
 // CDGRow is one row of Table 6.1 / 6.2: the MCL found under each explored
 // acyclic CDG for one workload. Failed CDGs (disconnected flows) are
 // reported as negative entries.
 type CDGRow struct {
-	Workload string
-	Breakers []string
-	MCL      []float64
+	// Workload names the row.
+	Workload string `json:"workload"`
+	// Breakers are the column labels (one acyclic CDG each).
+	Breakers []string `json:"breakers"`
+	// MCL holds one maximum channel load per breaker; negative = failed.
+	MCL []float64 `json:"mcl"`
 }
 
 // TableCDGExploration computes Table 6.1 (selector = route.MILPSelector)
-// or Table 6.2 (selector = route.DijkstraSelector): min MCL per acyclic
-// CDG per workload.
-func TableCDGExploration(m *topology.Mesh, selector route.Selector, vcs int) []CDGRow {
-	breakers := TableBreakers()
-	var rows []CDGRow
-	for _, w := range Workloads(m) {
-		row := CDGRow{Workload: w.Name}
-		results := core.Explore(m, w.Flows, core.Config{
-			VCs: vcs, Breakers: breakers, Selector: selector,
-		})
-		for _, ex := range results {
-			row.Breakers = append(row.Breakers, ex.Breaker)
-			if ex.Err != nil {
-				row.MCL = append(row.MCL, -1)
-			} else {
-				row.MCL = append(row.MCL, ex.MCL)
-			}
-		}
-		rows = append(rows, row)
+// or Table 6.2 (selector = route.DijkstraSelector) on the sweep engine:
+// min MCL per acyclic CDG per workload, cells explored in parallel.
+func TableCDGExploration(g topology.Grid, selector route.Selector, vcs int) []CDGRow {
+	r := NewRunner()
+	algorithm := r.useSelector(selector)
+	jobs := TableJobs("table-cdg", SpecOf(g), algorithm, TableBreakerNames(), vcs)
+	return CDGRows(r.Run(jobs))
+}
+
+// useSelector installs a selector in the matching Runner slot and returns
+// the algorithm name jobs should carry. Selectors whose Name is not
+// "BSOR-MILP" fill the Dijkstra slot.
+func (r *Runner) useSelector(selector route.Selector) string {
+	if selector == nil {
+		return "BSOR-Dijkstra"
 	}
-	return rows
+	if selector.Name() == "BSOR-MILP" {
+		r.MILP = selector
+		return "BSOR-MILP"
+	}
+	r.Dijkstra = selector
+	return "BSOR-Dijkstra"
 }
 
 // AlgoMCL is one row of Table 6.3: the MCL of each routing algorithm on
 // one workload.
 type AlgoMCL struct {
-	Workload   string
-	Algorithms []string
-	MCL        []float64
+	// Workload names the row.
+	Workload string `json:"workload"`
+	// Algorithms are the column labels.
+	Algorithms []string `json:"algorithms"`
+	// MCL holds one maximum channel load per algorithm; negative = failed.
+	MCL []float64 `json:"mcl"`
 }
 
 // Table63 compares the maximum channel load of XY, YX, ROMM, Valiant,
 // BSOR_MILP and BSOR_Dijkstra on every workload. BSOR entries take the
 // best across the explored CDGs (breakers; nil = the standard fifteen).
-func Table63(m *topology.Mesh, milp route.Selector, dijkstra route.Selector, vcs int,
+func Table63(g topology.Grid, milp route.Selector, dijkstra route.Selector, vcs int,
 	breakers []cdg.Breaker) []AlgoMCL {
 
-	algs := []route.Algorithm{
-		route.XY{}, route.YX{},
-		route.ROMM{Seed: 1}, route.Valiant{Seed: 1},
-		core.BSOR{Label: "BSOR-MILP", Config: core.Config{VCs: vcs, Selector: milp, Breakers: breakers}},
-		core.BSOR{Label: "BSOR-Dijkstra", Config: core.Config{VCs: vcs, Selector: dijkstra, Breakers: breakers}},
-	}
-	var rows []AlgoMCL
-	for _, w := range Workloads(m) {
-		row := AlgoMCL{Workload: w.Name}
-		for _, a := range algs {
-			row.Algorithms = append(row.Algorithms, a.Name())
-			set, err := a.Routes(m, w.Flows)
-			if err != nil {
-				row.MCL = append(row.MCL, -1)
-				continue
-			}
-			mcl, _ := set.MCL()
-			row.MCL = append(row.MCL, mcl)
-		}
-		rows = append(rows, row)
-	}
-	return rows
+	r := &Runner{MILP: milp, Dijkstra: dijkstra}
+	jobs := AlgoTableJobs("table6.3", SpecOf(g), Table63Algorithms(), BreakerNames(breakers), vcs)
+	return AlgoRows(r.Run(jobs))
 }
 
 // SweepPoint is one (offered rate, throughput, latency) sample of a
 // figure's load sweep.
 type SweepPoint struct {
-	Offered    float64
-	Throughput float64
-	AvgLatency float64
-	Deadlocked bool
+	// Offered is the total offered injection rate in packets/cycle.
+	Offered float64 `json:"offered"`
+	// Throughput is the delivered packets/cycle over the measured window.
+	Throughput float64 `json:"throughput"`
+	// AvgLatency is the mean network latency in cycles.
+	AvgLatency float64 `json:"avg_latency"`
+	// LatencyStd is the standard deviation of network latency.
+	LatencyStd float64 `json:"latency_std,omitempty"`
+	// LatencyP99 is the 99th-percentile network latency upper bound.
+	LatencyP99 float64 `json:"latency_p99,omitempty"`
+	// Deadlocked reports that the watchdog aborted the run.
+	Deadlocked bool `json:"deadlocked,omitempty"`
 }
 
 // Series is one curve of a figure.
 type Series struct {
-	Algorithm string
-	Points    []SweepPoint
+	// Algorithm labels the curve.
+	Algorithm string `json:"algorithm"`
+	// Points are the samples in offered-rate order.
+	Points []SweepPoint `json:"points"`
 }
 
 // SimParams bundles the simulation settings of a figure, defaulting to
 // the thesis' published parameters. Reduced cycle counts are used by the
 // benchmarks to keep regeneration tractable; the cmd tool exposes flags.
 type SimParams struct {
-	VCs           int
-	WarmupCycles  int64
+	// VCs is the virtual channel count (default 2).
+	VCs int
+	// WarmupCycles precede measurement (default 20000).
+	WarmupCycles int64
+	// MeasureCycles are measured after warmup (default 100000).
 	MeasureCycles int64
-	Seed          int64
+	// Seed is the base random seed; per-point seeds derive from it.
+	Seed int64
 }
 
 func (p SimParams) withDefaults() SimParams {
@@ -158,130 +202,89 @@ func (p SimParams) withDefaults() SimParams {
 	return p
 }
 
-// AlgorithmSet returns the six algorithms of the throughput/latency
-// figures. breakers selects the acyclic CDGs the BSOR variants explore;
-// nil means the full fifteen-CDG standard set (the table subset keeps
-// regeneration fast at equal best-MCL on these workloads).
-func AlgorithmSet(milp, dijkstra route.Selector, vcs int, breakers []cdg.Breaker) []route.Algorithm {
-	return []route.Algorithm{
-		core.BSOR{Label: "BSOR-MILP", Config: core.Config{VCs: vcs, Selector: milp, Breakers: breakers}},
-		core.BSOR{Label: "BSOR-Dijkstra", Config: core.Config{VCs: vcs, Selector: dijkstra, Breakers: breakers}},
-		route.ROMM{Seed: 1},
-		route.Valiant{Seed: 1},
-		route.XY{},
-		route.YX{},
-	}
-}
-
 // dynamicVC reports whether an algorithm's routes are simulated with
 // dynamic VC allocation. DOR routes are deadlock free under arbitrary VC
 // mixing; the two-phase and BSOR route sets rely on their static VC
 // assignment (§4.2.2).
 func dynamicVC(name string) bool { return name == "XY" || name == "YX" }
 
-// FigureSweep produces the throughput and latency curves of Figures 6-1
-// through 6-6 for one workload: every algorithm simulated across the
-// offered injection rates.
-func FigureSweep(m *topology.Mesh, flows []flowgraph.Flow, algs []route.Algorithm,
-	rates []float64, p SimParams) ([]Series, error) {
-
-	p = p.withDefaults()
-	var out []Series
-	for _, a := range algs {
-		set, err := a.Routes(m, flows)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", a.Name(), err)
-		}
-		s := Series{Algorithm: a.Name()}
-		for _, r := range rates {
-			res, err := runSim(m, set, p, r, dynamicVC(a.Name()), nil)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s at %g: %w", a.Name(), r, err)
-			}
-			s.Points = append(s.Points, SweepPoint{
-				Offered: r, Throughput: res.Throughput,
-				AvgLatency: res.AvgLatency, Deadlocked: res.Deadlocked,
-			})
-		}
-		out = append(out, s)
+// sweepBreakers picks the BSOR breaker set for a figure sweep on topo:
+// the table breaker subset on a mesh (equal best-MCL on these workloads,
+// faster regeneration), or the dateline set on a torus, where mesh turn
+// rules cannot break the wraparound ring cycles.
+func sweepBreakers(topo TopoSpec) []string {
+	if topo.withDefaults().Kind == "torus" {
+		return DatelineBreakerNames()
 	}
-	return out, nil
+	return TableBreakerNames()
 }
 
-func runSim(m *topology.Mesh, set *route.Set, p SimParams, offered float64,
-	dynamic bool, variation func(flow int) float64) (*sim.Result, error) {
+// FigureSweep produces the throughput and latency curves of Figures 6-1
+// through 6-6 for one workload: every algorithm simulated across the
+// offered injection rates, all points in parallel with route synthesis
+// shared across each algorithm's rates. BSOR variants explore the
+// topology's sweep breaker set (see sweepBreakers).
+func (r *Runner) FigureSweep(topo TopoSpec, workload string, algorithms []string,
+	rates []float64, p SimParams) ([]Series, error) {
 
-	s, err := sim.New(sim.Config{
-		Mesh: m, Routes: set, VCs: p.VCs,
-		DynamicVC:     dynamic,
-		OfferedRate:   offered,
-		WarmupCycles:  p.WarmupCycles,
-		MeasureCycles: p.MeasureCycles,
-		Seed:          p.Seed + int64(offered*1000),
-		RateVariation: variation,
-	})
-	if err != nil {
+	jobs := SweepJobs("figure", topo, workload, algorithms, sweepBreakers(topo), rates, 0, p)
+	results := r.Run(jobs)
+	if err := FirstError(results); err != nil {
 		return nil, err
 	}
-	return s.Run()
+	return SeriesFrom(results), nil
+}
+
+// FigureSweep runs a one-off figure sweep on a fresh default Runner; see
+// Runner.FigureSweep.
+func FigureSweep(g topology.Grid, workload string, algorithms []string,
+	rates []float64, p SimParams) ([]Series, error) {
+	return NewRunner().FigureSweep(SpecOf(g), workload, algorithms, rates, p)
 }
 
 // VCSweep produces Figure 6-7: the best BSOR and DOR algorithms simulated
-// with different virtual channel counts on one workload.
-func VCSweep(m *topology.Mesh, flows []flowgraph.Flow, vcCounts []int,
+// with different virtual channel counts on one workload. BSOR explores
+// the topology's full default breaker set, as the sequential original did.
+func (r *Runner) VCSweep(topo TopoSpec, workload string, vcCounts []int,
 	rates []float64, p SimParams) (map[int][]Series, error) {
 
-	out := make(map[int][]Series)
-	for _, vcs := range vcCounts {
-		pp := p
-		pp.VCs = vcs
-		algs := []route.Algorithm{
-			core.BSOR{Label: "BSOR-Dijkstra", Config: core.Config{VCs: vcs}},
-			route.XY{},
-		}
-		series, err := FigureSweep(m, flows, algs, rates, pp)
-		if err != nil {
-			return nil, err
-		}
-		out[vcs] = series
+	jobs := VCSweepJobs("vcsweep", topo, workload, []string{"BSOR-Dijkstra", "XY"},
+		vcCounts, rates, p)
+	results := r.Run(jobs)
+	if err := FirstError(results); err != nil {
+		return nil, err
 	}
-	return out, nil
+	return SeriesByVC(results), nil
+}
+
+// VCSweep runs a one-off VC sweep on a fresh default Runner; see
+// Runner.VCSweep.
+func VCSweep(g topology.Grid, workload string, vcCounts []int,
+	rates []float64, p SimParams) (map[int][]Series, error) {
+	return NewRunner().VCSweep(SpecOf(g), workload, vcCounts, rates, p)
 }
 
 // VariationSweep produces Figures 6-8/6-9/6-10: routes stay computed from
-// the base demands while injection rates vary by +/-percent via
-// per-flow Markov-modulated processes.
-func VariationSweep(m *topology.Mesh, flows []flowgraph.Flow, algs []route.Algorithm,
+// the base demands while injection rates vary by ±percent via per-flow
+// Markov-modulated processes, seeded per job so concurrent execution
+// reproduces the sequential numbers.
+func (r *Runner) VariationSweep(topo TopoSpec, workload string, algorithms []string,
 	percent float64, rates []float64, p SimParams) ([]Series, error) {
 
-	p = p.withDefaults()
-	var out []Series
-	for _, a := range algs {
-		set, err := a.Routes(m, flows)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", a.Name(), err)
-		}
-		s := Series{Algorithm: a.Name()}
-		for _, r := range rates {
-			mmps := make([]*traffic.MMP, len(flows))
-			for i, f := range flows {
-				mmps[i] = traffic.NewMMP(f.Demand, percent, 500, p.Seed+int64(i))
-			}
-			variation := func(flow int) float64 {
-				return mmps[flow].Advance()
-			}
-			res, err := runSim(m, set, p, r, dynamicVC(a.Name()), variation)
-			if err != nil {
-				return nil, err
-			}
-			s.Points = append(s.Points, SweepPoint{
-				Offered: r, Throughput: res.Throughput,
-				AvgLatency: res.AvgLatency, Deadlocked: res.Deadlocked,
-			})
-		}
-		out = append(out, s)
+	jobs := SweepJobs("variation", topo, workload, algorithms, sweepBreakers(topo),
+		rates, percent, p)
+	results := r.Run(jobs)
+	if err := FirstError(results); err != nil {
+		return nil, err
 	}
-	return out, nil
+	return SeriesFrom(results), nil
+}
+
+// VariationSweep runs a one-off variation sweep on a fresh default
+// Runner; see Runner.VariationSweep.
+func VariationSweep(g topology.Grid, workload string, algorithms []string,
+	percent float64, rates []float64, p SimParams) ([]Series, error) {
+	return NewRunner().VariationSweep(SpecOf(g), workload, algorithms, percent, rates, p)
 }
 
 // InjectionTrace reproduces Figure 5-4: the piecewise-constant injection

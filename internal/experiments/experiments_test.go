@@ -105,14 +105,7 @@ func TestTable63Shape(t *testing.T) {
 
 func TestFigureSweepProducesMonotoneOfferedAxis(t *testing.T) {
 	m := topology.NewMesh(8, 8)
-	var w Workload
-	for _, cand := range Workloads(m) {
-		if cand.Name == "perf-modeling" {
-			w = cand
-		}
-	}
-	algs := []route.Algorithm{route.XY{}, route.YX{}}
-	series, err := FigureSweep(m, w.Flows, algs, []float64{2, 8}, fastParams())
+	series, err := FigureSweep(m, "perf-modeling", []string{"XY", "YX"}, []float64{2, 8}, fastParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,13 +132,7 @@ func TestFigureSweepProducesMonotoneOfferedAxis(t *testing.T) {
 
 func TestVCSweepRuns(t *testing.T) {
 	m := topology.NewMesh(8, 8)
-	var w Workload
-	for _, cand := range Workloads(m) {
-		if cand.Name == "transmitter" {
-			w = cand
-		}
-	}
-	out, err := VCSweep(m, w.Flows, []int{1, 2}, []float64{5}, fastParams())
+	out, err := VCSweep(m, "transmitter", []int{1, 2}, []float64{5}, fastParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,14 +143,7 @@ func TestVCSweepRuns(t *testing.T) {
 
 func TestVariationSweepRuns(t *testing.T) {
 	m := topology.NewMesh(8, 8)
-	var w Workload
-	for _, cand := range Workloads(m) {
-		if cand.Name == "perf-modeling" {
-			w = cand
-		}
-	}
-	algs := []route.Algorithm{route.XY{}}
-	series, err := VariationSweep(m, w.Flows, algs, 0.25, []float64{5}, fastParams())
+	series, err := VariationSweep(m, "perf-modeling", []string{"XY"}, 0.25, []float64{5}, fastParams())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,26 +9,28 @@ import (
 )
 
 // Algorithm is any oblivious routing algorithm that assigns a static route
-// per flow on a mesh: the baselines here, or the BSOR framework (wrapped by
-// the core package).
+// per flow on an orthogonal grid (mesh or torus): the baselines here, or
+// the BSOR framework (wrapped by the core package). The dimension-order
+// families never cross wraparound links, so on a torus they degrade to
+// their mesh behavior while remaining deadlock free.
 type Algorithm interface {
 	Name() string
-	Routes(m *topology.Mesh, flows []flowgraph.Flow) (*Set, error)
+	Routes(g topology.Grid, flows []flowgraph.Flow) (*Set, error)
 }
 
 // dorPath returns the dimension-order path between two nodes: X dimension
 // first when xyFirst, otherwise Y first.
-func dorPath(m *topology.Mesh, src, dst topology.NodeID, xyFirst bool) []topology.ChannelID {
+func dorPath(g topology.Grid, src, dst topology.NodeID, xyFirst bool) []topology.ChannelID {
 	var chans []topology.ChannelID
-	x, y := m.XY(src)
-	dx, dy := m.XY(dst)
+	x, y := g.XY(src)
+	dx, dy := g.XY(dst)
 	stepX := func() {
 		for x != dx {
 			dir := topology.East
 			if dx < x {
 				dir = topology.West
 			}
-			chans = append(chans, m.ChannelAt(m.NodeAt(x, y), dir))
+			chans = append(chans, g.ChannelAt(g.NodeAt(x, y), dir))
 			if dir == topology.East {
 				x++
 			} else {
@@ -42,7 +44,7 @@ func dorPath(m *topology.Mesh, src, dst topology.NodeID, xyFirst bool) []topolog
 			if dy < y {
 				dir = topology.South
 			}
-			chans = append(chans, m.ChannelAt(m.NodeAt(x, y), dir))
+			chans = append(chans, g.ChannelAt(g.NodeAt(x, y), dir))
 			if dir == topology.North {
 				y++
 			} else {
@@ -76,8 +78,8 @@ type XY struct{}
 func (XY) Name() string { return "XY" }
 
 // Routes implements Algorithm.
-func (XY) Routes(m *topology.Mesh, flows []flowgraph.Flow) (*Set, error) {
-	return dorRoutes(m, flows, true)
+func (XY) Routes(g topology.Grid, flows []flowgraph.Flow) (*Set, error) {
+	return dorRoutes(g, flows, true)
 }
 
 // YX is YX-ordered dimension order routing.
@@ -87,14 +89,14 @@ type YX struct{}
 func (YX) Name() string { return "YX" }
 
 // Routes implements Algorithm.
-func (YX) Routes(m *topology.Mesh, flows []flowgraph.Flow) (*Set, error) {
-	return dorRoutes(m, flows, false)
+func (YX) Routes(g topology.Grid, flows []flowgraph.Flow) (*Set, error) {
+	return dorRoutes(g, flows, false)
 }
 
-func dorRoutes(m *topology.Mesh, flows []flowgraph.Flow, xyFirst bool) (*Set, error) {
-	s := &Set{Topo: m, Routes: make([]Route, len(flows))}
+func dorRoutes(g topology.Grid, flows []flowgraph.Flow, xyFirst bool) (*Set, error) {
+	s := &Set{Topo: g, Routes: make([]Route, len(flows))}
 	for i, f := range flows {
-		chans := dorPath(m, f.Src, f.Dst, xyFirst)
+		chans := dorPath(g, f.Src, f.Dst, xyFirst)
 		if len(chans) == 0 {
 			return nil, fmt.Errorf("route: flow %s has equal endpoints", f.Name)
 		}
@@ -110,27 +112,27 @@ func dorRoutes(m *topology.Mesh, flows []flowgraph.Flow, xyFirst bool) (*Set, er
 // intermediate node. Each surviving segment is a prefix or suffix of an
 // XY route, so VC 0 and VC 1 each stay XY-conformant and the two-VC
 // dependence graph remains acyclic.
-func twoPhase(m *topology.Mesh, src, mid, dst topology.NodeID) (chans []topology.ChannelID, vcs []int) {
+func twoPhase(g topology.Grid, src, mid, dst topology.NodeID) (chans []topology.ChannelID, vcs []int) {
 	type hop struct {
 		ch topology.ChannelID
 		vc int
 	}
 	var hops []hop
-	for _, ch := range dorPath(m, src, mid, true) {
+	for _, ch := range dorPath(g, src, mid, true) {
 		hops = append(hops, hop{ch, 0})
 	}
-	for _, ch := range dorPath(m, mid, dst, true) {
+	for _, ch := range dorPath(g, mid, dst, true) {
 		hops = append(hops, hop{ch, 1})
 	}
 	// Splice loops: track first visit position of each node.
 	visited := map[topology.NodeID]int{src: 0}
 	out := hops[:0]
 	for _, h := range hops {
-		next := m.Channel(h.ch).Dst
+		next := g.Channel(h.ch).Dst
 		if pos, ok := visited[next]; ok {
 			// Cut everything after the first visit of next.
 			for _, cut := range out[pos:] {
-				delete(visited, m.Channel(cut.ch).Dst)
+				delete(visited, g.Channel(cut.ch).Dst)
 			}
 			out = out[:pos]
 			visited[next] = len(out)
@@ -159,16 +161,16 @@ type ROMM struct {
 func (ROMM) Name() string { return "ROMM" }
 
 // Routes implements Algorithm.
-func (r ROMM) Routes(m *topology.Mesh, flows []flowgraph.Flow) (*Set, error) {
+func (r ROMM) Routes(g topology.Grid, flows []flowgraph.Flow) (*Set, error) {
 	rng := rand.New(rand.NewSource(r.Seed))
-	s := &Set{Topo: m, Routes: make([]Route, len(flows))}
+	s := &Set{Topo: g, Routes: make([]Route, len(flows))}
 	for i, f := range flows {
-		sx, sy := m.XY(f.Src)
-		dx, dy := m.XY(f.Dst)
+		sx, sy := g.XY(f.Src)
+		dx, dy := g.XY(f.Dst)
 		lox, hix := minmax(sx, dx)
 		loy, hiy := minmax(sy, dy)
-		mid := m.NodeAt(lox+rng.Intn(hix-lox+1), loy+rng.Intn(hiy-loy+1))
-		chans, vcs := twoPhase(m, f.Src, mid, f.Dst)
+		mid := g.NodeAt(lox+rng.Intn(hix-lox+1), loy+rng.Intn(hiy-loy+1))
+		chans, vcs := twoPhase(g, f.Src, mid, f.Dst)
 		if len(chans) == 0 {
 			return nil, fmt.Errorf("route: flow %s has equal endpoints", f.Name)
 		}
@@ -188,12 +190,12 @@ type Valiant struct {
 func (Valiant) Name() string { return "Valiant" }
 
 // Routes implements Algorithm.
-func (v Valiant) Routes(m *topology.Mesh, flows []flowgraph.Flow) (*Set, error) {
+func (v Valiant) Routes(g topology.Grid, flows []flowgraph.Flow) (*Set, error) {
 	rng := rand.New(rand.NewSource(v.Seed))
-	s := &Set{Topo: m, Routes: make([]Route, len(flows))}
+	s := &Set{Topo: g, Routes: make([]Route, len(flows))}
 	for i, f := range flows {
-		mid := topology.NodeID(rng.Intn(m.NumNodes()))
-		chans, vcs := twoPhase(m, f.Src, mid, f.Dst)
+		mid := topology.NodeID(rng.Intn(g.NumNodes()))
+		chans, vcs := twoPhase(g, f.Src, mid, f.Dst)
 		if len(chans) == 0 {
 			return nil, fmt.Errorf("route: flow %s has equal endpoints", f.Name)
 		}
@@ -213,12 +215,12 @@ type O1TURN struct {
 func (O1TURN) Name() string { return "O1TURN" }
 
 // Routes implements Algorithm.
-func (o O1TURN) Routes(m *topology.Mesh, flows []flowgraph.Flow) (*Set, error) {
+func (o O1TURN) Routes(g topology.Grid, flows []flowgraph.Flow) (*Set, error) {
 	rng := rand.New(rand.NewSource(o.Seed))
-	s := &Set{Topo: m, Routes: make([]Route, len(flows))}
+	s := &Set{Topo: g, Routes: make([]Route, len(flows))}
 	for i, f := range flows {
 		xyFirst := rng.Intn(2) == 0
-		chans := dorPath(m, f.Src, f.Dst, xyFirst)
+		chans := dorPath(g, f.Src, f.Dst, xyFirst)
 		if len(chans) == 0 {
 			return nil, fmt.Errorf("route: flow %s has equal endpoints", f.Name)
 		}

@@ -10,6 +10,18 @@
 // resource-to-switch links four times the bandwidth of switch-to-switch
 // links (modeled as up to four flit injections/ejections per node per
 // cycle).
+//
+// # Concurrency
+//
+// The package holds no mutable package-level state: every Simulator owns
+// its network buffers, RNG, and statistics, so New followed by Run is
+// safe to call from any number of concurrent goroutines as long as each
+// goroutine uses its own Simulator. The Config inputs (Mesh, Routes) are
+// treated strictly read-only and may be shared between concurrent runs;
+// a RateVariation callback, however, is invoked from the simulation loop
+// and must not be shared across simulators unless it is itself
+// synchronized. The experiment engine (internal/experiments) relies on
+// these guarantees for its parallel sweeps.
 package sim
 
 import (
@@ -21,8 +33,9 @@ import (
 
 // Config parameterizes one simulation run.
 type Config struct {
-	// Mesh is the network. Required.
-	Mesh *topology.Mesh
+	// Mesh is the network: any topology (mesh, torus, ...) whose channel
+	// ids the route set references. Required.
+	Mesh topology.Topology
 	// Routes assigns a static route (and, for static VC allocation, the
 	// per-hop VCs) to every flow. Required.
 	Routes *route.Set
@@ -140,6 +153,9 @@ type Result struct {
 	LatencyP50 float64
 	LatencyP95 float64
 	LatencyP99 float64
+	// LatencyStd is the sample standard deviation of network latency,
+	// obtained by merging the per-flow Welford summaries.
+	LatencyStd float64
 	// Deadlocked is set when the watchdog aborted the run.
 	Deadlocked bool
 }

@@ -42,7 +42,7 @@ func (b *vcBuf) reset() {
 // Simulator holds the full network state for one run.
 type Simulator struct {
 	cfg   Config
-	mesh  *topology.Mesh
+	mesh  topology.Topology
 	table *routingTable
 	rng   *rand.Rand
 
@@ -201,9 +201,12 @@ func (s *Simulator) Run() (*Result, error) {
 		res.LatencyP99 = s.latencyHist.Percentile(99)
 	}
 	res.PerFlowLatency = make([]float64, len(s.perFlowLat))
+	var merged stats.Summary
 	for i := range s.perFlowLat {
 		res.PerFlowLatency[i] = s.perFlowLat[i].Mean()
+		merged.Merge(&s.perFlowLat[i])
 	}
+	res.LatencyStd = merged.Std()
 	return res, nil
 }
 

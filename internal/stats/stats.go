@@ -36,6 +36,31 @@ func (s *Summary) Add(x float64) {
 	s.m2 += d * (x - s.mean)
 }
 
+// Merge folds the observations of o into s using Chan et al.'s parallel
+// Welford combination, as if every observation of o had been Added to s.
+// It is the aggregation primitive for statistics collected concurrently
+// (per flow, per worker, per replica); o is left unchanged.
+func (s *Summary) Merge(o *Summary) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *o
+		return
+	}
+	n := s.n + o.n
+	d := o.mean - s.mean
+	s.m2 += o.m2 + d*d*float64(s.n)*float64(o.n)/float64(n)
+	s.mean += d * float64(o.n) / float64(n)
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	s.n = n
+}
+
 // N returns the observation count.
 func (s *Summary) N() int64 { return s.n }
 
@@ -93,6 +118,22 @@ func (h *Histogram) Add(x float64) {
 	}
 	h.buckets[i]++
 	h.total++
+}
+
+// Merge adds the counts of o into h. Both histograms must have identical
+// bucket layouts (same range and bucket count); Merge returns an error
+// otherwise. It is the aggregation primitive for histograms collected by
+// concurrent simulation runs.
+func (h *Histogram) Merge(o *Histogram) error {
+	if h.lo != o.lo || h.hi != o.hi || len(h.buckets) != len(o.buckets) {
+		return fmt.Errorf("stats: cannot merge histogram [%g,%g)/%d into [%g,%g)/%d",
+			o.lo, o.hi, len(o.buckets), h.lo, h.hi, len(h.buckets))
+	}
+	for i, c := range o.buckets {
+		h.buckets[i] += c
+	}
+	h.total += o.total
+	return nil
 }
 
 // Total returns the observation count.

@@ -164,3 +164,93 @@ func TestBatchMeans(t *testing.T) {
 		t.Error("single batch should have zero half-width")
 	}
 }
+
+func TestSummaryMergeMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var whole, left, right Summary
+	for i := 0; i < 5000; i++ {
+		x := rng.NormFloat64()*3 + 10
+		whole.Add(x)
+		if i%3 == 0 {
+			left.Add(x)
+		} else {
+			right.Add(x)
+		}
+	}
+	var merged Summary
+	merged.Merge(&left)
+	merged.Merge(&right)
+	if merged.N() != whole.N() {
+		t.Fatalf("merged n = %d, want %d", merged.N(), whole.N())
+	}
+	for name, pair := range map[string][2]float64{
+		"mean": {merged.Mean(), whole.Mean()},
+		"var":  {merged.Var(), whole.Var()},
+		"min":  {merged.Min(), whole.Min()},
+		"max":  {merged.Max(), whole.Max()},
+	} {
+		if math.Abs(pair[0]-pair[1]) > 1e-9 {
+			t.Errorf("merged %s = %g, want %g", name, pair[0], pair[1])
+		}
+	}
+}
+
+func TestSummaryMergeEmpty(t *testing.T) {
+	var a, b Summary
+	a.Add(2)
+	a.Add(4)
+	before := a
+	a.Merge(&b) // merging empty is a no-op
+	if a != before {
+		t.Error("merging an empty summary changed the target")
+	}
+	b.Merge(&a) // merging into empty copies
+	if b.N() != 2 || b.Mean() != 3 || b.Min() != 2 || b.Max() != 4 {
+		t.Errorf("merge into empty: %v", b.String())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(0, 100, 10)
+	b := NewHistogram(0, 100, 10)
+	whole := NewHistogram(0, 100, 10)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 2000; i++ {
+		x := rng.Float64() * 120 // exercise the saturating end bucket
+		whole.Add(x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Total() != whole.Total() {
+		t.Fatalf("merged total %d, want %d", a.Total(), whole.Total())
+	}
+	for i := 0; i < whole.NumBuckets(); i++ {
+		if a.Bucket(i) != whole.Bucket(i) {
+			t.Errorf("bucket %d: %d vs %d", i, a.Bucket(i), whole.Bucket(i))
+		}
+	}
+	for _, p := range []float64{50, 95, 99} {
+		if a.Percentile(p) != whole.Percentile(p) {
+			t.Errorf("p%g: %g vs %g", p, a.Percentile(p), whole.Percentile(p))
+		}
+	}
+}
+
+func TestHistogramMergeLayoutMismatch(t *testing.T) {
+	a := NewHistogram(0, 100, 10)
+	for _, bad := range []*Histogram{
+		NewHistogram(0, 100, 20),
+		NewHistogram(0, 50, 10),
+		NewHistogram(1, 100, 10),
+	} {
+		if err := a.Merge(bad); err == nil {
+			t.Error("layout mismatch accepted")
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package topology
+
+// Grid is the orthogonal-grid view shared by *Mesh and *Torus: a Topology
+// whose nodes sit on a Width x Height lattice addressable by (x, y)
+// coordinates, with one channel per direction where the topology provides
+// it. The traffic patterns, the baseline routing algorithms, and the
+// experiment engine consume this interface so that every workload and
+// sweep runs unchanged on either topology.
+type Grid interface {
+	Topology
+	// Width reports the X dimension.
+	Width() int
+	// Height reports the Y dimension.
+	Height() int
+	// NodeAt returns the node at (x, y), or InvalidNode when the
+	// coordinates fall outside the grid.
+	NodeAt(x, y int) NodeID
+	// XY returns the coordinates of n.
+	XY(n NodeID) (x, y int)
+	// Neighbor returns the node adjacent to n in direction dir
+	// (InvalidNode beyond a mesh edge; wrapped on a torus).
+	Neighbor(n NodeID, dir Direction) NodeID
+	// ChannelAt returns the outgoing channel of n in direction dir, or
+	// InvalidChannel where the topology has none.
+	ChannelAt(n NodeID, dir Direction) ChannelID
+}
+
+var (
+	_ Grid = (*Mesh)(nil)
+	_ Grid = (*Torus)(nil)
+)

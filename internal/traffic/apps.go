@@ -7,8 +7,8 @@ import (
 	"repro/internal/topology"
 )
 
-// App is an application workload: a set of named modules placed on mesh
-// nodes and the estimated-bandwidth flows between them.
+// App is an application workload: a set of named modules placed on grid
+// nodes (mesh or torus) and the estimated-bandwidth flows between them.
 //
 // The thesis publishes each application's flow rates (Fig. 5-1, Fig. 5-2,
 // Table 5.2) but not the module-to-node placements; the placements here are
@@ -27,11 +27,11 @@ type appFlow struct {
 	demand   float64 // MB/s
 }
 
-func buildApp(m *topology.Mesh, name string, placement map[string][2]int, flows []appFlow) *App {
+func buildApp(g topology.Grid, name string, placement map[string][2]int, flows []appFlow) *App {
 	app := &App{Name: name, Modules: make(map[string]topology.NodeID, len(placement))}
 	used := make(map[topology.NodeID]string, len(placement))
 	for mod, xy := range placement {
-		n := m.NodeAt(xy[0], xy[1])
+		n := g.NodeAt(xy[0], xy[1])
 		if n == topology.InvalidNode {
 			panic(fmt.Sprintf("traffic: %s module %s placed off-mesh at (%d,%d)",
 				name, mod, xy[0], xy[1]))
@@ -70,7 +70,7 @@ func buildApp(m *topology.Mesh, name string, placement map[string][2]int, flows 
 // fifteen flows whose rates span 0.473 to 120.4 MB/s. The dominant flow f7
 // (120.4 MB/s, into the memory controller) sets the lower bound on any
 // routing's MCL, which the thesis' best CDGs achieve exactly.
-func H264Decoder(m *topology.Mesh) *App {
+func H264Decoder(g topology.Grid) *App {
 	placement := map[string][2]int{
 		"M1": {1, 1}, "M2": {3, 1}, "M3": {5, 1},
 		"M4": {1, 3}, "M5": {3, 3}, "M6": {5, 3},
@@ -93,7 +93,7 @@ func H264Decoder(m *topology.Mesh) *App {
 		{"f14", "M6", "M9", 41.47},
 		{"f15", "M3", "M1", 0.473},
 	}
-	return buildApp(m, "h264", placement, flows)
+	return buildApp(g, "h264", placement, flows)
 }
 
 // PerfModeling is the FPGA processor performance model of §5.2.2
@@ -101,7 +101,7 @@ func H264Decoder(m *topology.Mesh) *App {
 // instruction memory, data memory, and register file as independent
 // modules. Flow rates range from 4.3 to 62.73 MB/s; the register-file flow
 // f4 (62.73 MB/s) bounds the achievable MCL.
-func PerfModeling(m *topology.Mesh) *App {
+func PerfModeling(g topology.Grid) *App {
 	placement := map[string][2]int{
 		"Fetch": {1, 2}, "Imem": {3, 2}, "Decode": {5, 2},
 		"Dmem": {1, 4}, "RegFile": {3, 4}, "Execute": {5, 4},
@@ -119,7 +119,7 @@ func PerfModeling(m *topology.Mesh) *App {
 		{"f10", "Execute", "Dmem", 41.82},
 		{"f11", "Dmem", "Execute", 41.82},
 	}
-	return buildApp(m, "perfmodel", placement, flows)
+	return buildApp(g, "perfmodel", placement, flows)
 }
 
 // Transmitter80211 is the IEEE 802.11a/g OFDM baseband transmitter of
@@ -128,7 +128,7 @@ func PerfModeling(m *topology.Mesh) *App {
 // gives rates in Mbit/s; demands here are converted to MB/s (divided by 8)
 // so MCL values are directly comparable with the thesis' tables (e.g. the
 // 58.72 Mbit/s flow f9 is 7.34 MB/s, the best-case MCL of Table 6.1).
-func Transmitter80211(m *topology.Mesh) *App {
+func Transmitter80211(g topology.Grid) *App {
 	placement := map[string][2]int{
 		"IN": {0, 3}, "M1": {1, 4}, "M2": {2, 3}, "M3": {2, 5},
 		"M4": {0, 5}, "M5": {3, 4}, "M6": {4, 4}, "M7": {5, 4},
@@ -159,5 +159,5 @@ func Transmitter80211(m *topology.Mesh) *App {
 		{"f19", "M11", "M12", 9 * mbit},
 		{"f20", "IN", "M1", 18.1 * mbit},
 	}
-	return buildApp(m, "wifi-tx", placement, flows)
+	return buildApp(g, "wifi-tx", placement, flows)
 }

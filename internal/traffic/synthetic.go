@@ -20,20 +20,20 @@ const DefaultSyntheticDemand = 25.0
 
 // addressBits returns b = log2(N) for the bit-permutation patterns, which
 // require a power-of-two node count with even bit width for transpose.
-func addressBits(m *topology.Mesh) int {
-	n := m.NumNodes()
+func addressBits(g topology.Grid) int {
+	n := g.NumNodes()
 	if n&(n-1) != 0 {
 		panic(fmt.Sprintf("traffic: %d nodes is not a power of two", n))
 	}
 	return bits.TrailingZeros(uint(n))
 }
 
-func bitPattern(m *topology.Mesh, name string, demand float64,
+func bitPattern(g topology.Grid, name string, demand float64,
 	dst func(s, b int) int) []flowgraph.Flow {
 
-	b := addressBits(m)
+	b := addressBits(g)
 	var flows []flowgraph.Flow
-	for s := 0; s < m.NumNodes(); s++ {
+	for s := 0; s < g.NumNodes(); s++ {
 		d := dst(s, b)
 		if d == s {
 			continue // a node does not send to itself
@@ -52,12 +52,12 @@ func bitPattern(m *topology.Mesh, name string, demand float64,
 // Transpose is the matrix-transpose / corner-turn pattern (§5.1.2):
 // d_i = s_{(i + b/2) mod b}, i.e. the two halves of the node address swap,
 // so node (x, y) sends to (y, x). Requires even address width.
-func Transpose(m *topology.Mesh, demand float64) []flowgraph.Flow {
-	b := addressBits(m)
+func Transpose(g topology.Grid, demand float64) []flowgraph.Flow {
+	b := addressBits(g)
 	if b%2 != 0 {
 		panic("traffic: transpose requires an even address width")
 	}
-	return bitPattern(m, "transpose", demand, func(s, b int) int {
+	return bitPattern(g, "transpose", demand, func(s, b int) int {
 		half := b / 2
 		lo := s & (1<<half - 1)
 		hi := s >> half
@@ -67,16 +67,16 @@ func Transpose(m *topology.Mesh, demand float64) []flowgraph.Flow {
 
 // BitComplement is the vector-reversal pattern (§5.1.1): d_i = NOT s_i,
 // so node (x, y) sends to (W-1-x, H-1-y).
-func BitComplement(m *topology.Mesh, demand float64) []flowgraph.Flow {
-	return bitPattern(m, "bitcomp", demand, func(s, b int) int {
+func BitComplement(g topology.Grid, demand float64) []flowgraph.Flow {
+	return bitPattern(g, "bitcomp", demand, func(s, b int) int {
 		return ^s & (1<<b - 1)
 	})
 }
 
 // Shuffle is the perfect-shuffle pattern of sorting and FFT kernels
 // (§5.1.3): the address rotates left by one bit, d_i = s_{(i-1) mod b}.
-func Shuffle(m *topology.Mesh, demand float64) []flowgraph.Flow {
-	return bitPattern(m, "shuffle", demand, func(s, b int) int {
+func Shuffle(g topology.Grid, demand float64) []flowgraph.Flow {
+	return bitPattern(g, "shuffle", demand, func(s, b int) int {
 		return (s<<1 | s>>(b-1)) & (1<<b - 1)
 	})
 }

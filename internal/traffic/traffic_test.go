@@ -63,7 +63,7 @@ func TestShufflePattern(t *testing.T) {
 
 func TestPatternsArePermutationLike(t *testing.T) {
 	m := mesh8()
-	for _, gen := range []func(*topology.Mesh, float64) []flowgraph.Flow{
+	for _, gen := range []func(topology.Grid, float64) []flowgraph.Flow{
 		Transpose, BitComplement, Shuffle,
 	} {
 		flows := gen(m, 1)
