@@ -16,7 +16,9 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/route"
+	"repro/internal/sim"
 	"repro/internal/topology"
+	"repro/internal/traffic"
 )
 
 func benchMILP() route.Selector {
@@ -189,6 +191,65 @@ func BenchmarkFig54InjectionTrace(b *testing.B) {
 		if len(trace) != 120000 {
 			b.Fatal("short trace")
 		}
+	}
+}
+
+// BenchmarkSimCycles measures the raw speed of the cycle-accurate
+// simulator core on a transpose latency curve — the workload shape that
+// dominates every figure — and reports simulated cycles per second and
+// flit hops per second as custom metrics. scripts/bench_sim.sh runs it
+// and records the numbers in BENCH_sim.json next to the captured
+// seed-core baseline; CI runs it with -benchtime=1x so the metrics
+// cannot silently break.
+//
+// The 16x16 case is the acceptance benchmark of the data-oriented core
+// rewrite: five offered-rate points (deep sub-saturation through
+// saturation) at 2k+10k cycles each, XY routes. The seed core sustained
+// ~13.8k cycles/sec on this curve in the reference container; the
+// active-set core is required to stay >= 3x above that.
+func BenchmarkSimCycles(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		w, h int
+	}{
+		{"mesh8x8", 8, 8},
+		{"mesh16x16", 16, 16},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			m := topology.NewMesh(tc.w, tc.h)
+			set, err := route.XY{}.Routes(m, traffic.Transpose(m, 10))
+			if err != nil {
+				b.Fatal(err)
+			}
+			rates := []float64{2, 10, 20, 40, 60}
+			var cycles, hops int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, rate := range rates {
+					s, err := sim.New(sim.Config{
+						Mesh: m, Routes: set, VCs: 2, OfferedRate: rate,
+						WarmupCycles: 2000, MeasureCycles: 10000, Seed: 1,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err := s.Run()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Deadlocked {
+						b.Fatal("benchmark config deadlocked")
+					}
+					cycles += res.Cycles
+					hops += res.FlitHops
+				}
+			}
+			sec := b.Elapsed().Seconds()
+			if sec > 0 {
+				b.ReportMetric(float64(cycles)/sec, "cycles/sec")
+				b.ReportMetric(float64(hops)/sec, "flithops/sec")
+			}
+		})
 	}
 }
 

@@ -23,10 +23,14 @@
 //	experiments -filter table6.2 -json   # machine-readable results (EXPERIMENTS.md)
 //	experiments -workers 4               # worker-pool size (default NumCPU)
 //
+//	experiments -figure 6-1 -cpuprofile cpu.prof   # profile a sweep
+//	experiments -figure 6-1 -memprofile mem.prof   # heap profile on exit
+//
 // -fast trims the simulated cycle counts and the MILP budget (useful for
 // smoke runs); the defaults are the thesis' 20k warmup + 100k measured
 // cycles. Results are deterministic for a given seed regardless of
-// -workers.
+// -workers. Simulation sweeps report their aggregate simulated
+// cycles/sec and flit-hops/sec to stderr (never into -json output).
 package main
 
 import (
@@ -34,6 +38,8 @@ import (
 	"fmt"
 	"os"
 	"path"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/experiments"
@@ -43,16 +49,18 @@ import (
 )
 
 var (
-	fast    = flag.Bool("fast", false, "reduced cycle counts and MILP budget for smoke runs")
-	vcs     = flag.Int("vcs", 2, "virtual channels per link")
-	table   = flag.String("table", "", "6.1 | 6.2 | 6.3")
-	fig     = flag.String("figure", "", "6-1 .. 6-10 | 5-4")
-	all     = flag.Bool("all", false, "run every thesis table and figure")
-	filter  = flag.String("filter", "", "experiment name or glob to select experiments")
-	list    = flag.Bool("list", false, "print the experiment index and exit")
-	jobs    = flag.Bool("jobs", false, "print the selected experiments' job lists as JSON, without running")
-	jsonOut = flag.Bool("json", false, "print results as JSON instead of tables and charts")
-	workers = flag.Int("workers", 0, "worker-pool size (0 = NumCPU)")
+	fast       = flag.Bool("fast", false, "reduced cycle counts and MILP budget for smoke runs")
+	vcs        = flag.Int("vcs", 2, "virtual channels per link")
+	table      = flag.String("table", "", "6.1 | 6.2 | 6.3")
+	fig        = flag.String("figure", "", "6-1 .. 6-10 | 5-4")
+	all        = flag.Bool("all", false, "run every thesis table and figure")
+	filter     = flag.String("filter", "", "experiment name or glob to select experiments")
+	list       = flag.Bool("list", false, "print the experiment index and exit")
+	jobs       = flag.Bool("jobs", false, "print the selected experiments' job lists as JSON, without running")
+	jsonOut    = flag.Bool("json", false, "print results as JSON instead of tables and charts")
+	workers    = flag.Int("workers", 0, "worker-pool size (0 = NumCPU)")
+	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 )
 
 func milpSelector() route.Selector {
@@ -250,15 +258,39 @@ func selected(name string) bool {
 
 func main() {
 	flag.Parse()
+	// os.Exit skips deferred profile writers, so the body runs in
+	// runMain and every early exit funnels through this one point.
+	os.Exit(runMain())
+}
+
+func runMain() int {
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer writeMemProfile(*memprofile)
+	}
+
 	exps := registry()
 	if *list {
 		for _, e := range exps {
 			fmt.Printf("%-16s %s (%d jobs)\n", e.name, e.title, len(e.jobs))
 		}
-		return
+		return 0
 	}
 
 	runner := &experiments.Runner{Workers: *workers, MILP: milpSelector()}
+	defer reportSimRate(runner)
 	ran := false
 	var jsonResults []experiments.Result
 	var jsonJobs []experiments.Job
@@ -284,7 +316,7 @@ func main() {
 		results := runner.Run(e.jobs)
 		if err := experiments.FirstError(results); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		if *jsonOut {
 			jsonResults = append(jsonResults, results...)
@@ -296,20 +328,48 @@ func main() {
 	}
 	if !ran {
 		flag.Usage()
-		os.Exit(1)
+		return 1
 	}
 	if *jobs {
 		if err := experiments.WriteJobsJSON(os.Stdout, jsonJobs); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	if *jsonOut {
 		if err := experiments.WriteJSON(os.Stdout, jsonResults); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
+	}
+	return 0
+}
+
+// reportSimRate prints the aggregate simulation throughput of a run to
+// stderr: simulated cycles and flit hops per second of sim wall time.
+// Diagnostics only — deterministic outputs (-json, -jobs) never include
+// timing.
+func reportSimRate(r *experiments.Runner) {
+	cycles, hops, wall := r.SimStats()
+	if cycles == 0 || wall <= 0 {
+		return
+	}
+	sec := wall.Seconds()
+	fmt.Fprintf(os.Stderr, "sim: %d cycles, %d flit-hops in %.2fs of sim time (%.0f cycles/sec, %.0f flit-hops/sec)\n",
+		cycles, hops, sec, float64(cycles)/sec, float64(hops)/sec)
+}
+
+func writeMemProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	defer f.Close()
+	runtime.GC() // materialize up-to-date allocation stats
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cdg"
 	"repro/internal/core"
@@ -237,6 +238,14 @@ type Runner struct {
 
 	cache synthCache
 
+	// Aggregate simulation-work counters (SimStats): simulated cycles,
+	// flit hops, and wall time spent inside sim.Run across all jobs.
+	// Reporting only — results stay free of timing so JSON output is
+	// deterministic.
+	simCycles   atomic.Int64
+	simFlitHops atomic.Int64
+	simWallNs   atomic.Int64
+
 	topoMu sync.Mutex
 	topos  map[string]topology.Grid
 }
@@ -253,6 +262,15 @@ func DefaultMILP() route.Selector {
 // SynthesisCount reports how many route syntheses the cache has computed
 // (not served); the cache-hit tests pin it to the number of unique keys.
 func (r *Runner) SynthesisCount() int64 { return r.cache.computes.Load() }
+
+// SimStats reports the aggregate cycle-accurate simulation work done by
+// this Runner: total simulated cycles, total flit hops, and the summed
+// wall time spent inside sim.Run (across workers, so it can exceed real
+// elapsed time). cmd/experiments prints the derived cycles/sec after a
+// sweep; the numbers never enter Results, which stay deterministic.
+func (r *Runner) SimStats() (cycles, flitHops int64, wall time.Duration) {
+	return r.simCycles.Load(), r.simFlitHops.Load(), time.Duration(r.simWallNs.Load())
+}
 
 // Run executes jobs on the worker pool and returns one Result per job, in
 // job order — the ordering is independent of scheduling and completion
@@ -439,10 +457,14 @@ func (r *Runner) simulate(g topology.Grid, set *route.Set, j Job) (*SweepPoint, 
 	if err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	res, err := s.Run()
 	if err != nil {
 		return nil, err
 	}
+	r.simWallNs.Add(int64(time.Since(start)))
+	r.simCycles.Add(res.Cycles)
+	r.simFlitHops.Add(res.FlitHops)
 	return &SweepPoint{
 		Offered: j.Rate, Throughput: res.Throughput,
 		AvgLatency: res.AvgLatency, LatencyStd: res.LatencyStd,

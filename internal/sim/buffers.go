@@ -1,0 +1,209 @@
+package sim
+
+// Data layout of the simulator core. All virtual-channel buffers —
+// channel input buffers and injection-port buffers alike — live in one
+// contiguous []vcBuf indexed arithmetically:
+//
+//	buffer of (channel ch, vc v):  ch*VCs + v
+//	buffer of (node n, inj vc v):  injBase + n*VCs + v,  injBase = NumChannels*VCs
+//
+// Flit queues are fixed-capacity ring buffers carved out of one shared
+// arena (Simulator.flits): buffer i owns the window [i*depth, (i+1)*depth)
+// and addresses it with a head offset and count, so enqueue/dequeue never
+// re-slices or appends. Wormhole switching guarantees a buffer holds the
+// flits of at most one packet at a time (a VC is released only when the
+// previous packet's tail leaves), which is what makes the fixed window
+// and the single owner field sufficient.
+//
+// vcBuf also carries the intrusive wait-list links of the active-set
+// scheduler (see sim.go): a routed buffer is a member of exactly one wait
+// list — the list of its output channel, or the ejection list of its node
+// — until the tail flit leaves and release() unlinks it.
+
+// flitRef identifies one flit: the packet it belongs to and its position
+// in the packet (0 is the header; PacketLen-1 the tail).
+type flitRef struct {
+	pkt int32
+	idx int16
+}
+
+// packet metadata; flits reference packets by index, and delivered
+// records are recycled through Simulator.freePkts.
+type packet struct {
+	flow    int32
+	createT int64 // cycle the packet entered its source queue
+	enterT  int64 // cycle the header flit entered the injection buffer
+	doneT   int64
+}
+
+// vcBuf is one virtual-channel buffer at the downstream end of a channel
+// (or at a node's injection port), in the flat layout described above.
+type vcBuf struct {
+	owner int32 // packet index currently allocated this VC, or -1
+	head  int32 // ring read offset within this buffer's arena window
+	count int32 // flits currently buffered
+	outCh int32 // routed output channel (valid when active && !eject)
+	outVC int32
+	node  int32 // node this buffer sits at (channel Dst, or injection node)
+	// Intrusive doubly-linked wait-list membership: next/prev are flat
+	// buffer indices, -1 terminated. Which list the buffer is on follows
+	// from its state: ejectWait[node] when eject, chanWait[outCh] when
+	// routed, none otherwise.
+	next int32
+	prev int32
+	// readyAt is the first cycle the routed header may traverse the
+	// switch, modeling RC/VA/SA pipeline depth.
+	readyAt int64
+	active  bool // head packet has been routed and VC-allocated
+	eject   bool
+	pending bool // queued in routePending awaiting RC/VA
+}
+
+// popFlit dequeues the head flit of buffer bi.
+func (s *Simulator) popFlit(bi int32, b *vcBuf) flitRef {
+	f := s.flits[bi*s.depth+b.head]
+	b.head++
+	if b.head == s.depth {
+		b.head = 0
+	}
+	b.count--
+	return f
+}
+
+// pushFlit enqueues f at the tail of buffer bi.
+func (s *Simulator) pushFlit(bi int32, b *vcBuf, f flitRef) {
+	pos := b.head + b.count
+	if pos >= s.depth {
+		pos -= s.depth
+	}
+	s.flits[bi*s.depth+pos] = f
+	b.count++
+}
+
+// headFlit peeks the head flit of buffer bi without dequeuing.
+func (s *Simulator) headFlit(bi int32, b *vcBuf) flitRef {
+	return s.flits[bi*s.depth+b.head]
+}
+
+// chanPush links buffer bi into output channel ch's wait list and marks
+// the channel active for switch allocation. Lists are kept in ascending
+// buffer-index order so that arbitration candidate order — and with it
+// the round-robin grant sequence — matches the pre-refactor full scan
+// (input channels in id order, then injection VCs): at saturation the
+// grant order is observable in the latency distribution, not just an
+// implementation detail.
+func (s *Simulator) chanPush(ch, bi int32) {
+	s.sortedInsert(&s.chanWait[ch], bi)
+	if !s.chanQueued[ch] {
+		s.chanQueued[ch] = true
+		s.activeChans = append(s.activeChans, ch)
+	}
+}
+
+// ejectPush links buffer bi into its node's ejection wait list (ascending
+// index order, see chanPush) and marks the node active for ejection.
+func (s *Simulator) ejectPush(bi int32) {
+	n := s.bufs[bi].node
+	s.sortedInsert(&s.ejectWait[n], bi)
+	if !s.ejectQueued[n] {
+		s.ejectQueued[n] = true
+		s.activeEject = append(s.activeEject, n)
+	}
+}
+
+// sortedInsert links bi into the wait list rooted at *head, keeping
+// ascending buffer-index order. Lists are short (bounded by the VCs of
+// one node's input ports), so the linear walk is cheap and runs once per
+// packet per hop, not per cycle.
+func (s *Simulator) sortedInsert(head *int32, bi int32) {
+	prev, cur := int32(-1), *head
+	for cur >= 0 && cur < bi {
+		prev, cur = cur, s.bufs[cur].next
+	}
+	b := &s.bufs[bi]
+	b.prev, b.next = prev, cur
+	if prev >= 0 {
+		s.bufs[prev].next = bi
+	} else {
+		*head = bi
+	}
+	if cur >= 0 {
+		s.bufs[cur].prev = bi
+	}
+}
+
+// unlink removes buffer bi from whichever wait list its state says it is
+// on: the VA stall list of its target channel while pending, its node's
+// ejection list when ejecting, its output channel's switch list
+// otherwise. Must run before those fields are cleared.
+func (s *Simulator) unlink(bi int32) {
+	b := &s.bufs[bi]
+	if b.prev >= 0 {
+		s.bufs[b.prev].next = b.next
+	} else if b.pending {
+		s.vaWait[b.outCh] = b.next
+	} else if b.eject {
+		s.ejectWait[b.node] = b.next
+	} else {
+		s.chanWait[b.outCh] = b.next
+	}
+	if b.next >= 0 {
+		s.bufs[b.next].prev = b.prev
+	}
+	b.next, b.prev = -1, -1
+}
+
+// release ends buffer bi's tenure by the current packet: unlink from its
+// wait list and free the VC for the next VA claim. Freeing a channel VC
+// wakes the channel's VA waiters for the next routeAndAllocate pass.
+func (s *Simulator) release(bi int32, b *vcBuf) {
+	s.unlink(bi)
+	b.owner = -1
+	b.active = false
+	b.eject = false
+	if bi < s.injBase {
+		if ch := bi / s.nVCs; s.vaWait[ch] >= 0 {
+			s.vaFlag(ch)
+		}
+	}
+}
+
+// i32ring is a growable FIFO of int32 with O(1) push/pop and a
+// power-of-two backing array, used for the per-flow source queues: the
+// old append/re-slice queues churned their backing arrays every few
+// thousand packets, while a ring reaches steady-state capacity once and
+// never allocates again.
+type i32ring struct {
+	data []int32
+	head int32
+	n    int32
+}
+
+func (q *i32ring) len() int { return int(q.n) }
+
+func (q *i32ring) push(v int32) {
+	if int(q.n) == len(q.data) {
+		q.grow()
+	}
+	q.data[(int(q.head)+int(q.n))&(len(q.data)-1)] = v
+	q.n++
+}
+
+func (q *i32ring) pop() int32 {
+	v := q.data[q.head]
+	q.head = int32((int(q.head) + 1) & (len(q.data) - 1))
+	q.n--
+	return v
+}
+
+func (q *i32ring) grow() {
+	ncap := len(q.data) * 2
+	if ncap == 0 {
+		ncap = 8
+	}
+	nd := make([]int32, ncap)
+	for i := 0; i < int(q.n); i++ {
+		nd[i] = q.data[(int(q.head)+i)&(len(q.data)-1)]
+	}
+	q.data, q.head = nd, 0
+}

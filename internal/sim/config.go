@@ -11,6 +11,17 @@
 // links (modeled as up to four flit injections/ejections per node per
 // cycle).
 //
+// # Performance model
+//
+// The core is data-oriented (see sim.go and buffers.go): all VC buffers
+// live in one flat array with fixed-capacity ring flit queues, every
+// pipeline stage consumes an incrementally maintained active set rather
+// than scanning the network, and packet generation samples geometric
+// inter-arrival gaps (one RNG draw per packet). Per-cycle cost is
+// proportional to in-flight activity, not to topology size, which is
+// what makes 16x16+ sweeps affordable (EXPERIMENTS.md records the
+// measured speedup).
+//
 // # Concurrency
 //
 // The package holds no mutable package-level state: every Simulator owns
@@ -70,7 +81,9 @@ type Config struct {
 	// header latency, as in an unbypassed four-stage router. Body flits
 	// stream behind the header unaffected.
 	PipelineStages int
-	// Seed drives packet generation.
+	// Seed drives packet generation. Results are deterministic per seed;
+	// each flow is a Bernoulli process at its share of OfferedRate,
+	// sampled by geometric inter-arrival inversion (one draw per packet).
 	Seed int64
 	// RateVariation, when non-nil, supplies a per-flow multiplicative
 	// rate factor each cycle (the §5.3 Markov-modulated variation).
@@ -156,6 +169,10 @@ type Result struct {
 	// LatencyStd is the sample standard deviation of network latency,
 	// obtained by merging the per-flow Welford summaries.
 	LatencyStd float64
+	// FlitHops counts flit movements across the whole run (warmup
+	// included): every switch traversal and every ejection is one hop.
+	// Benchmarks report it as work done per wall-clock second.
+	FlitHops int64
 	// Deadlocked is set when the watchdog aborted the run.
 	Deadlocked bool
 }

@@ -1,0 +1,235 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// Full-scan cross-check of the active-set scheduler. The production loop
+// never scans the whole network; this checker does exactly that — using
+// the topology's precomputed destination-ordered input index — and
+// verifies that the incrementally maintained sets describe the same
+// state. Tests enable it via checkEvery; it is never run on the hot
+// path.
+//
+// Invariants checked (DESIGN.md §8):
+//
+//  1. Every inactive non-empty buffer is queued in routePending, and
+//     every routePending member is inactive, non-empty, and flagged.
+//  2. Every active non-eject buffer is linked on chanWait[outCh], every
+//     active eject buffer on ejectWait[node], and the lists contain
+//     nothing else. Non-empty lists are registered in the active sets.
+//  3. A buffer's flits all belong to its owner, in consecutive idx
+//     order, and fit the ring (0 <= count <= depth).
+//  4. stagedCnt is all-zero between cycles and inFlight equals the
+//     total buffered flit count.
+//  5. flowWork matches queue/transfer state and nodeWork counts the
+//     flows with work; nodes with work are registered in activeInj.
+func (s *Simulator) checkInvariants() error {
+	nc := s.mesh.NumChannels()
+	nn := s.mesh.NumNodes()
+
+	// Collect wait-list membership by walking every list once.
+	onChan := make(map[int32]int32, len(s.bufs)) // buf -> channel
+	for ch := 0; ch < nc; ch++ {
+		prev := int32(-1)
+		for bi := s.chanWait[ch]; bi >= 0; bi = s.bufs[bi].next {
+			if s.bufs[bi].prev != prev {
+				return fmt.Errorf("cycle %d: chanWait[%d] broken prev link at buf %d", s.cycle, ch, bi)
+			}
+			if _, dup := onChan[bi]; dup {
+				return fmt.Errorf("cycle %d: buf %d linked twice", s.cycle, bi)
+			}
+			onChan[bi] = int32(ch)
+			prev = bi
+		}
+		if s.chanWait[ch] >= 0 && !s.chanQueued[ch] {
+			return fmt.Errorf("cycle %d: channel %d has waiters but is not active", s.cycle, ch)
+		}
+	}
+	onEject := make(map[int32]int32, 64) // buf -> node
+	for n := 0; n < nn; n++ {
+		prev := int32(-1)
+		for bi := s.ejectWait[n]; bi >= 0; bi = s.bufs[bi].next {
+			if s.bufs[bi].prev != prev {
+				return fmt.Errorf("cycle %d: ejectWait[%d] broken prev link at buf %d", s.cycle, n, bi)
+			}
+			if _, dup := onEject[bi]; dup {
+				return fmt.Errorf("cycle %d: buf %d eject-linked twice", s.cycle, bi)
+			}
+			onEject[bi] = int32(n)
+			prev = bi
+		}
+		if s.ejectWait[n] >= 0 && !s.ejectQueued[n] {
+			return fmt.Errorf("cycle %d: node %d has eject waiters but is not active", s.cycle, n)
+		}
+	}
+	pending := make(map[int32]bool, len(s.routePending))
+	for _, bi := range s.routePending {
+		b := &s.bufs[bi]
+		if !b.pending || b.active || b.count == 0 {
+			return fmt.Errorf("cycle %d: routePending buf %d in state pending=%v active=%v count=%d",
+				s.cycle, bi, b.pending, b.active, b.count)
+		}
+		pending[bi] = true
+	}
+	for ch := 0; ch < nc; ch++ {
+		prev := int32(-1)
+		for bi := s.vaWait[ch]; bi >= 0; bi = s.bufs[bi].next {
+			b := &s.bufs[bi]
+			if b.prev != prev {
+				return fmt.Errorf("cycle %d: vaWait[%d] broken prev link at buf %d", s.cycle, ch, bi)
+			}
+			if !b.pending || b.active || b.count == 0 || b.outCh != int32(ch) {
+				return fmt.Errorf("cycle %d: vaWait[%d] buf %d in state pending=%v active=%v count=%d outCh=%d",
+					s.cycle, ch, bi, b.pending, b.active, b.count, b.outCh)
+			}
+			if pending[bi] {
+				return fmt.Errorf("cycle %d: buf %d both in routePending and vaWait", s.cycle, bi)
+			}
+			pending[bi] = true
+			prev = bi
+		}
+		// Missed-wake check: a free VC that some waiter could claim means
+		// the channel must be flagged for the next VA pass.
+		if s.vaWait[ch] >= 0 && !s.vaFlagged[ch] {
+			for v := int32(0); v < s.nVCs; v++ {
+				if s.bufs[int32(ch)*s.nVCs+v].owner >= 0 {
+					continue
+				}
+				for bi := s.vaWait[ch]; bi >= 0; bi = s.bufs[bi].next {
+					if s.cfg.DynamicVC || s.bufs[bi].outVC == v {
+						return fmt.Errorf("cycle %d: channel %d VC %d free with eligible waiter %d but not flagged",
+							s.cycle, ch, v, bi)
+					}
+				}
+			}
+		}
+	}
+
+	// Full scan over every buffer, iterating nodes and their input
+	// channels through the CSR index (the path the pre-refactor hot loop
+	// took every cycle, now demoted to a debug check).
+	ix := topology.InIndexOf(s.mesh)
+	var totalFlits int64
+	scan := func(bi int32, node topology.NodeID) error {
+		b := &s.bufs[bi]
+		if b.node != int32(node) {
+			return fmt.Errorf("buf %d: node %d, expected %d", bi, b.node, node)
+		}
+		if b.count < 0 || b.count > s.depth || b.head < 0 || b.head >= s.depth {
+			return fmt.Errorf("buf %d: ring out of range head=%d count=%d", bi, b.head, b.count)
+		}
+		totalFlits += int64(b.count)
+		if s.stagedCnt[bi] != 0 {
+			return fmt.Errorf("buf %d: stagedCnt %d between cycles", bi, s.stagedCnt[bi])
+		}
+		for i := int32(0); i < b.count; i++ {
+			pos := b.head + i
+			if pos >= s.depth {
+				pos -= s.depth
+			}
+			f := s.flits[bi*s.depth+pos]
+			if f.pkt != b.owner {
+				return fmt.Errorf("buf %d: flit %d of packet %d in buffer owned by %d", bi, i, f.pkt, b.owner)
+			}
+		}
+		switch {
+		case b.active && b.eject:
+			if n, ok := onEject[bi]; !ok || n != b.node || b.pending {
+				return fmt.Errorf("buf %d: active eject buffer not on its node's eject list", bi)
+			}
+		case b.active:
+			if ch, ok := onChan[bi]; !ok || ch != b.outCh {
+				return fmt.Errorf("buf %d: active buffer not on chanWait[%d]", bi, b.outCh)
+			}
+			if b.pending {
+				return fmt.Errorf("buf %d: active buffer still pending", bi)
+			}
+		default:
+			if _, ok := onChan[bi]; ok {
+				return fmt.Errorf("buf %d: inactive buffer on a channel wait list", bi)
+			}
+			if _, ok := onEject[bi]; ok {
+				return fmt.Errorf("buf %d: inactive buffer on an eject list", bi)
+			}
+			if b.count > 0 && !pending[bi] {
+				return fmt.Errorf("buf %d: unrouted header not in routePending", bi)
+			}
+			if b.count == 0 && b.pending {
+				return fmt.Errorf("buf %d: empty buffer marked pending", bi)
+			}
+		}
+		return nil
+	}
+	for n := 0; n < nn; n++ {
+		lo, hi := ix.Range(topology.NodeID(n))
+		for i := lo; i < hi; i++ {
+			base := int32(ix.At(i)) * s.nVCs
+			for vc := int32(0); vc < s.nVCs; vc++ {
+				if err := scan(base+vc, topology.NodeID(n)); err != nil {
+					return fmt.Errorf("cycle %d: %w", s.cycle, err)
+				}
+			}
+		}
+		base := s.injBase + int32(n)*s.nVCs
+		for vc := int32(0); vc < s.nVCs; vc++ {
+			if err := scan(base+vc, topology.NodeID(n)); err != nil {
+				return fmt.Errorf("cycle %d: %w", s.cycle, err)
+			}
+		}
+	}
+	if totalFlits != s.inFlight {
+		return fmt.Errorf("cycle %d: %d buffered flits but inFlight=%d", s.cycle, totalFlits, s.inFlight)
+	}
+
+	// Arrival bookkeeping: every positive-rate flow is either scheduled in
+	// the heap or paused on a full source queue (geometric mode only).
+	if s.cfg.RateVariation == nil {
+		inHeap := make(map[int32]int, len(s.arrivals))
+		for _, a := range s.arrivals {
+			inHeap[a.flow]++
+		}
+		for fi, p := range s.injectProb {
+			switch {
+			case p <= 0:
+				if inHeap[int32(fi)] != 0 || s.flowPaused[fi] {
+					return fmt.Errorf("cycle %d: zero-rate flow %d scheduled", s.cycle, fi)
+				}
+			case s.flowPaused[fi]:
+				if inHeap[int32(fi)] != 0 {
+					return fmt.Errorf("cycle %d: paused flow %d still in arrival heap", s.cycle, fi)
+				}
+				if s.srcQueue[fi].len() != maxSourceQueue {
+					return fmt.Errorf("cycle %d: flow %d paused with %d queued", s.cycle, fi, s.srcQueue[fi].len())
+				}
+			default:
+				if inHeap[int32(fi)] != 1 {
+					return fmt.Errorf("cycle %d: flow %d has %d arrival entries", s.cycle, fi, inHeap[int32(fi)])
+				}
+			}
+		}
+	}
+
+	// Injection work accounting.
+	workPerNode := make([]int32, nn)
+	for fi := range s.srcQueue {
+		want := s.srcQueue[fi].len() > 0 || s.transfer[fi].pkt >= 0
+		if s.flowWork[fi] != want {
+			return fmt.Errorf("cycle %d: flow %d work flag %v, state says %v", s.cycle, fi, s.flowWork[fi], want)
+		}
+		if want {
+			workPerNode[s.flowNode[fi]]++
+		}
+	}
+	for n := 0; n < nn; n++ {
+		if s.nodeWork[n] != workPerNode[n] {
+			return fmt.Errorf("cycle %d: node %d work count %d, expected %d", s.cycle, n, s.nodeWork[n], workPerNode[n])
+		}
+		if s.nodeWork[n] > 0 && !s.injQueued[n] {
+			return fmt.Errorf("cycle %d: node %d has work but is not in activeInj", s.cycle, n)
+		}
+	}
+	return nil
+}

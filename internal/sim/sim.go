@@ -1,65 +1,76 @@
 package sim
 
 import (
+	"math"
 	"math/rand"
 
 	"repro/internal/stats"
 	"repro/internal/topology"
 )
 
-// packet metadata; flits reference packets by index.
-type packet struct {
-	flow    int32
-	createT int64 // cycle the packet entered its source queue
-	enterT  int64 // cycle the header flit entered the injection buffer
-	doneT   int64
-}
-
-type flitRef struct {
-	pkt int32
-	idx int16 // 0 is the header; PacketLen-1 is the tail
-}
-
-// vcBuf is one virtual-channel buffer at the downstream end of a channel
-// (or at a node's injection port).
-type vcBuf struct {
-	buf    []flitRef
-	owner  int32 // packet index currently allocated this VC, or -1
-	active bool  // head packet has been routed and VC-allocated
-	outCh  topology.ChannelID
-	outVC  int8
-	eject  bool
-	// readyAt is the first cycle the routed header may traverse the
-	// switch, modeling RC/VA/SA pipeline depth.
-	readyAt int64
-}
-
-func (b *vcBuf) reset() {
-	b.owner = -1
-	b.active = false
-}
-
 // Simulator holds the full network state for one run.
+//
+// The core is data-oriented: per-cycle work is proportional to the
+// *activity* in the network, not its size. Every stage consumes an
+// incrementally maintained active set instead of scanning all buffers:
+//
+//   - generate() drains the arrival heap (generate.go) — O(packets due).
+//   - inject() visits only nodes in activeInj, the nodes whose flows
+//     have queued packets or in-progress transfers.
+//   - routeAndAllocate() visits only routePending, the buffers whose
+//     head flit is an unrouted header (entered when a header lands in an
+//     empty inactive buffer, left on successful VC allocation).
+//   - switchAllocateAndTraverse() visits only activeChans/activeEject,
+//     the channels and nodes with at least one routed VC on their
+//     intrusive wait list (entered at VA, left when the tail departs).
+//
+// An idle 16x16 network therefore simulates a cycle in a handful of
+// branch checks; a loaded one pays per in-flight packet, never per
+// buffer. See buffers.go for the flat buffer layout and DESIGN.md §8 for
+// the invariants (which internal tests cross-check against a full scan).
 type Simulator struct {
 	cfg   Config
 	mesh  topology.Topology
 	table *routingTable
 	rng   *rand.Rand
 
-	packets []packet
+	// Flat geometry: see buffers.go.
+	nVCs    int32
+	depth   int32
+	injBase int32 // flat index of the first injection buffer
 
-	// chanVCs[ch][vc] is the input buffer at the downstream end of ch.
-	chanVCs [][]vcBuf
-	// injVCs[node][vc] is the injection-port buffer of node.
-	injVCs [][]vcBuf
+	bufs      []vcBuf
+	flits     []flitRef // ring arena: buffer i owns [i*depth, (i+1)*depth)
+	stagedCnt []int32   // per buffer: deliveries staged this cycle (credits)
+
+	packets  []packet
+	freePkts []int32 // delivered packet records available for reuse
 
 	// Per-flow injection state.
 	injectProb []float64 // packets/cycle at OfferedRate (base demands)
+	invLogQ    []float64 // 1/ln(1-p) per flow, 0 when p >= 1 (gap is 1)
 	demandSum  float64
-	srcQueue   [][]int32 // queued packet indices per flow
-	// transfer[flow] is the packet currently streaming into an injection
-	// VC: remaining flit index, and which buffer.
-	transfer []injTransfer
+	arrivals   arrivalHeap
+	srcQueue   []i32ring // queued packet indices per flow
+	transfer   []injTransfer
+	flowNode   []int32 // source node per flow
+	flowPaused []bool  // arrival due but source queue full; resumed on pop
+
+	// Active sets.
+	routePending []int32 // buffers with a header awaiting its first RC
+	vaWait       []int32 // per channel: head of VA-stalled wait list, -1 empty
+	vaFlagged    []bool  // per channel: queued in vaRetry
+	vaRetry      []int32 // channels with new waiters or freed VCs
+	chanWait     []int32 // per channel: head of routed-VC wait list, -1 empty
+	ejectWait    []int32 // per node: head of ejecting-VC wait list, -1 empty
+	activeChans  []int32 // channels with a non-empty wait list (lazily pruned)
+	chanQueued   []bool
+	activeEject  []int32 // nodes with a non-empty ejection wait list
+	ejectQueued  []bool
+	activeInj    []int32 // nodes with injection work (lazily pruned)
+	injQueued    []bool
+	flowWork     []bool  // flow has queued packets or an active transfer
+	nodeWork     []int32 // number of flows with work per node
 
 	// Round-robin pointers.
 	rrOut  []int // per channel: switch-allocation priority
@@ -67,19 +78,21 @@ type Simulator struct {
 	rrInj  []int // per node: flow service order
 
 	// nodeFlows[node] lists flow indices sourced at node.
-	nodeFlows [][]int
+	nodeFlows [][]int32
 
-	// staged deliveries applied at cycle end, with per-buffer counts for
-	// O(1) credit accounting.
-	staged     []stagedFlit
-	stagedChan [][]int8 // [channel][vc]
-	stagedInj  [][]int8 // [node][vc]
-	scratch    []*vcBuf // reusable candidate list
+	// staged deliveries applied at cycle end.
+	staged  []stagedFlit
+	scratch []int32 // reusable candidate list
 
 	cycle     int64
 	lastMove  int64
-	inFlight  int64 // flits currently inside buffers or transfers
+	inFlight  int64 // flits currently inside buffers
 	delivered int64
+	flitHops  int64
+
+	// checkEvery > 0 runs the full-scan invariant checker every that many
+	// cycles (tests only; see invariants.go).
+	checkEvery int64
 
 	// measurement accumulators
 	mInjected    int64
@@ -94,14 +107,12 @@ type Simulator struct {
 type injTransfer struct {
 	pkt     int32 // -1 when idle
 	nextIdx int16
-	vc      int8
+	buf     int32 // flat injection-buffer index being streamed into
 }
 
 type stagedFlit struct {
-	f  flitRef
-	ch topology.ChannelID // destination buffer; InvalidChannel for injection
-	to topology.NodeID    // used when ch is InvalidChannel
-	vc int8
+	f   flitRef
+	buf int32 // flat destination-buffer index
 }
 
 // New builds a simulator; Run executes it. A Simulator is single-use.
@@ -122,49 +133,69 @@ func New(cfg Config) (*Simulator, error) {
 	}
 	nc := s.mesh.NumChannels()
 	nn := s.mesh.NumNodes()
-	s.chanVCs = make([][]vcBuf, nc)
-	for ch := range s.chanVCs {
-		s.chanVCs[ch] = make([]vcBuf, cfg.VCs)
-		for vc := range s.chanVCs[ch] {
-			s.chanVCs[ch][vc].reset()
-		}
-	}
-	s.injVCs = make([][]vcBuf, nn)
-	for n := range s.injVCs {
-		s.injVCs[n] = make([]vcBuf, cfg.VCs)
-		for vc := range s.injVCs[n] {
-			s.injVCs[n][vc].reset()
+	s.nVCs = int32(cfg.VCs)
+	s.depth = int32(cfg.BufDepth)
+	s.injBase = int32(nc) * s.nVCs
+	nBufs := int32(nc+nn) * s.nVCs
+	s.bufs = make([]vcBuf, nBufs)
+	s.flits = make([]flitRef, int(nBufs)*int(s.depth))
+	s.stagedCnt = make([]int32, nBufs)
+	for bi := range s.bufs {
+		b := &s.bufs[bi]
+		b.owner, b.next, b.prev = -1, -1, -1
+		if int32(bi) < s.injBase {
+			b.node = int32(s.mesh.Channel(topology.ChannelID(int32(bi) / s.nVCs)).Dst)
+		} else {
+			b.node = (int32(bi) - s.injBase) / s.nVCs
 		}
 	}
 	flows := cfg.Routes.Routes
 	s.injectProb = make([]float64, len(flows))
-	s.srcQueue = make([][]int32, len(flows))
+	s.srcQueue = make([]i32ring, len(flows))
 	s.transfer = make([]injTransfer, len(flows))
+	s.flowNode = make([]int32, len(flows))
+	s.flowWork = make([]bool, len(flows))
 	s.perFlow = make([]int64, len(flows))
-	s.nodeFlows = make([][]int, nn)
+	s.nodeFlows = make([][]int32, nn)
 	for i, r := range flows {
 		s.demandSum += r.Flow.Demand
 		s.transfer[i].pkt = -1
-		s.nodeFlows[r.Flow.Src] = append(s.nodeFlows[r.Flow.Src], i)
+		s.flowNode[i] = int32(r.Flow.Src)
+		s.nodeFlows[r.Flow.Src] = append(s.nodeFlows[r.Flow.Src], int32(i))
 	}
+	s.invLogQ = make([]float64, len(flows))
 	for i, r := range flows {
 		if s.demandSum > 0 {
 			s.injectProb[i] = cfg.OfferedRate * r.Flow.Demand / s.demandSum
 		}
+		if p := s.injectProb[i]; p > 0 && p < 1 {
+			s.invLogQ[i] = 1 / math.Log1p(-p)
+		}
 	}
+	s.chanWait = make([]int32, nc)
+	s.vaWait = make([]int32, nc)
+	s.ejectWait = make([]int32, nn)
+	for i := range s.chanWait {
+		s.chanWait[i] = -1
+		s.vaWait[i] = -1
+	}
+	for i := range s.ejectWait {
+		s.ejectWait[i] = -1
+	}
+	s.vaFlagged = make([]bool, nc)
+	s.flowPaused = make([]bool, len(flows))
+	s.chanQueued = make([]bool, nc)
+	s.ejectQueued = make([]bool, nn)
+	s.injQueued = make([]bool, nn)
+	s.nodeWork = make([]int32, nn)
 	s.rrOut = make([]int, nc)
 	s.rrEjct = make([]int, nn)
 	s.rrInj = make([]int, nn)
-	s.stagedChan = make([][]int8, nc)
-	for ch := range s.stagedChan {
-		s.stagedChan[ch] = make([]int8, cfg.VCs)
-	}
-	s.stagedInj = make([][]int8, nn)
-	for n := range s.stagedInj {
-		s.stagedInj[n] = make([]int8, cfg.VCs)
-	}
 	s.perFlowLat = make([]stats.Summary, len(flows))
 	s.latencyHist = stats.NewHistogram(0, 4096, 256)
+	if cfg.RateVariation == nil {
+		s.initArrivals()
+	}
 	return s, nil
 }
 
@@ -178,6 +209,11 @@ func (s *Simulator) Run() (*Result, error) {
 		s.routeAndAllocate()
 		s.switchAllocateAndTraverse()
 		s.applyStaged()
+		if s.checkEvery > 0 && s.cycle%s.checkEvery == 0 {
+			if err := s.checkInvariants(); err != nil {
+				return nil, err
+			}
+		}
 		if s.inFlight > 0 && s.cycle-s.lastMove > s.cfg.DeadlockCycles {
 			deadlocked = true
 			break
@@ -188,6 +224,7 @@ func (s *Simulator) Run() (*Result, error) {
 		PacketsInjected:  s.mInjected,
 		PacketsDelivered: s.mDelivered,
 		PerFlowDelivered: s.perFlow,
+		FlitHops:         s.flitHops,
 		Deadlocked:       deadlocked,
 	}
 	if s.cfg.MeasureCycles > 0 {
@@ -211,239 +248,281 @@ func (s *Simulator) Run() (*Result, error) {
 }
 
 // maxSourceQueue bounds open-loop generation so saturated runs stay in
-// memory; generation pauses while a flow's queue is full.
+// memory; generation pauses while a flow's queue is full. Together with
+// the packet free list this caps packet-record memory at (queued +
+// in-flight), independent of how many packets a long run delivers.
 const maxSourceQueue = 1 << 13
 
-// generate creates new packets per flow via a Bernoulli process at the
-// flow's share of the offered rate.
-func (s *Simulator) generate() {
-	for i := range s.injectProb {
-		p := s.injectProb[i]
-		if s.cfg.RateVariation != nil && s.demandSum > 0 {
-			p = s.cfg.OfferedRate * s.cfg.RateVariation(i) / s.demandSum
-		}
-		if p <= 0 || len(s.srcQueue[i]) >= maxSourceQueue {
-			continue
-		}
-		if p < 1 && s.rng.Float64() >= p {
-			continue
-		}
-		s.packets = append(s.packets, packet{flow: int32(i), createT: s.cycle, enterT: -1})
-		s.srcQueue[i] = append(s.srcQueue[i], int32(len(s.packets)-1))
-		if s.cycle >= s.cfg.WarmupCycles {
-			s.mInjected++
-		}
-	}
-}
-
 // inject moves flits from source queues into injection-port VC buffers,
-// up to LocalBandwidth flits per node per cycle.
+// up to LocalBandwidth flits per node per cycle, visiting only nodes
+// with pending injection work.
 func (s *Simulator) inject() {
-	for n := 0; n < s.mesh.NumNodes(); n++ {
-		flowsHere := s.nodeFlows[n]
-		if len(flowsHere) == 0 {
+	for i := 0; i < len(s.activeInj); {
+		n := s.activeInj[i]
+		if s.nodeWork[n] == 0 {
+			last := len(s.activeInj) - 1
+			s.activeInj[i] = s.activeInj[last]
+			s.activeInj = s.activeInj[:last]
+			s.injQueued[n] = false
 			continue
 		}
-		budget := s.cfg.LocalBandwidth
-		// Start new transfers: queued packets claim free injection VCs.
-		for k := 0; k < len(flowsHere); k++ {
-			fi := flowsHere[(s.rrInj[n]+k)%len(flowsHere)]
-			if s.transfer[fi].pkt >= 0 || len(s.srcQueue[fi]) == 0 {
-				continue
-			}
-			vc := s.freeVC(s.injVCs[n])
-			if vc < 0 {
-				continue
-			}
-			pkt := s.srcQueue[fi][0]
-			s.srcQueue[fi] = s.srcQueue[fi][1:]
-			s.injVCs[n][vc].owner = pkt
-			s.transfer[fi] = injTransfer{pkt: pkt, nextIdx: 0, vc: int8(vc)}
-		}
-		// Stream flits of active transfers into their buffers.
-		for k := 0; k < len(flowsHere) && budget > 0; k++ {
-			fi := flowsHere[(s.rrInj[n]+k)%len(flowsHere)]
-			tr := &s.transfer[fi]
-			if tr.pkt < 0 {
-				continue
-			}
-			buf := &s.injVCs[n][tr.vc]
-			for budget > 0 && tr.pkt >= 0 && len(buf.buf)+s.stagedInto(topology.InvalidChannel, topology.NodeID(n), tr.vc) < s.cfg.BufDepth {
-				if tr.nextIdx == 0 {
-					s.packets[tr.pkt].enterT = s.cycle
-				}
-				s.lastMove = s.cycle
-				s.stage(stagedFlit{
-					f:  flitRef{pkt: tr.pkt, idx: tr.nextIdx},
-					ch: topology.InvalidChannel, to: topology.NodeID(n), vc: tr.vc,
-				})
-				tr.nextIdx++
-				budget--
-				if int(tr.nextIdx) == s.cfg.PacketLen {
-					tr.pkt = -1 // transfer complete; VC stays owned until tail leaves
-				}
-			}
-		}
-		s.rrInj[n] = (s.rrInj[n] + 1) % len(flowsHere)
+		s.injectNode(n)
+		i++
 	}
 }
 
-// freeVC returns the index of an unowned VC in bufs, or -1.
-func (s *Simulator) freeVC(bufs []vcBuf) int {
-	for vc := range bufs {
-		if bufs[vc].owner < 0 {
+func (s *Simulator) injectNode(n int32) {
+	flowsHere := s.nodeFlows[n]
+	nf := len(flowsHere)
+	budget := s.cfg.LocalBandwidth
+	rr := s.rrInj[n]
+	// Start new transfers: queued packets claim free injection VCs in
+	// round-robin order. Priority rotates past the last flow granted a
+	// VC — grant-based rotation, unlike the seed core's once-per-cycle
+	// rotation, which could phase-lock with the periodic VC-release
+	// pattern of a saturated node and starve a flow indefinitely (the
+	// transmitter workload exhibited this under some seeds).
+	for k := 0; k < nf; k++ {
+		fi := flowsHere[(rr+k)%nf]
+		if s.transfer[fi].pkt >= 0 || s.srcQueue[fi].len() == 0 {
+			continue
+		}
+		vc := s.freeInjVC(n)
+		if vc < 0 {
+			break // all injection VCs owned; no later flow can claim either
+		}
+		pkt := s.srcQueue[fi].pop()
+		if s.flowPaused[fi] {
+			// A slot freed for a generation-paused flow: resume the
+			// arrival process memorylessly, exactly as the seed core's
+			// suppressed Bernoulli trials would — next success Geom(p)
+			// cycles out, not a deterministic replay of the paused one.
+			s.flowPaused[fi] = false
+			s.arrivals.push(arrival{at: s.cycle + s.geomGap(fi), flow: fi})
+		}
+		bi := s.injBase + n*s.nVCs + vc
+		s.bufs[bi].owner = pkt
+		s.transfer[fi] = injTransfer{pkt: pkt, nextIdx: 0, buf: bi}
+		s.rrInj[n] = (rr + k + 1) % nf
+	}
+	// Stream flits of active transfers into their buffers.
+	for k := 0; k < nf && budget > 0; k++ {
+		fi := flowsHere[(rr+k)%nf]
+		tr := &s.transfer[fi]
+		if tr.pkt < 0 {
+			continue
+		}
+		b := &s.bufs[tr.buf]
+		for budget > 0 && tr.pkt >= 0 && b.count+s.stagedCnt[tr.buf] < s.depth {
+			if tr.nextIdx == 0 {
+				s.packets[tr.pkt].enterT = s.cycle
+			}
+			s.lastMove = s.cycle
+			s.stage(flitRef{pkt: tr.pkt, idx: tr.nextIdx}, tr.buf)
+			tr.nextIdx++
+			budget--
+			if int(tr.nextIdx) == s.cfg.PacketLen {
+				tr.pkt = -1 // transfer complete; VC stays owned until tail leaves
+				if s.srcQueue[fi].len() == 0 {
+					s.flowWork[fi] = false
+					s.nodeWork[n]--
+				}
+			}
+		}
+	}
+}
+
+// freeInjVC returns the index of an unowned injection VC at node n, or -1.
+func (s *Simulator) freeInjVC(n int32) int32 {
+	base := s.injBase + n*s.nVCs
+	for vc := int32(0); vc < s.nVCs; vc++ {
+		if s.bufs[base+vc].owner < 0 {
 			return vc
 		}
 	}
 	return -1
 }
 
-// routeAndAllocate performs the RC and VA stages for every input VC whose
-// head flit is a header not yet routed: look up the next hop in the
-// routing table and claim a VC there (the statically assigned one, or any
-// free one under dynamic allocation).
+// routeAndAllocate performs the RC and VA stages event-driven. Route
+// computation runs once per packet per hop: headers that arrived last
+// cycle (routePending) look up their next hop, ejecting buffers activate
+// immediately, and the rest join their target channel's VA wait list.
+// Virtual-channel allocation then runs only for flagged channels — those
+// with new waiters or with a VC freed since the last attempt (release
+// flags them) — because an unflagged channel's waiters would just fail
+// the same owner checks again.
+//
+// Waiters are kept and served in ascending buffer-index order,
+// reproducing the pre-refactor full scan's priority: channel buffers (in
+// channel id order) claim a contested downstream VC before any injection
+// buffer. At saturation this ordering is load-bearing — it gives traffic
+// already in the network priority over new injections, keeping
+// in-network queueing (and thus the reported network latency) low while
+// the excess waits in the source queues. Buffers contending for
+// different channels never interact, so per-channel ordering is the only
+// ordering that matters.
 func (s *Simulator) routeAndAllocate() {
-	for ch := range s.chanVCs {
-		for vc := range s.chanVCs[ch] {
-			s.allocateVC(&s.chanVCs[ch][vc], topology.ChannelID(ch))
-		}
-	}
-	for n := range s.injVCs {
-		for vc := range s.injVCs[n] {
-			s.allocateVC(&s.injVCs[n][vc], topology.InvalidChannel)
-		}
-	}
-}
-
-func (s *Simulator) allocateVC(b *vcBuf, arrival topology.ChannelID) {
-	if b.active || len(b.buf) == 0 {
-		return
-	}
-	head := b.buf[0]
-	if head.idx != 0 {
-		// Body flit at buffer head while inactive can only happen after a
-		// tail release bug; guard anyway.
-		return
-	}
-	entry := s.table.lookup(int(s.packets[head.pkt].flow), arrival)
-	if entry.next == topology.InvalidChannel {
-		b.active, b.eject = true, true
-		b.readyAt = s.cycle + int64(s.cfg.PipelineStages) - 1
-		return
-	}
-	down := s.chanVCs[entry.next]
-	vc := -1
-	if s.cfg.DynamicVC {
-		vc = s.freeVC(down)
-	} else if down[entry.vc].owner < 0 {
-		vc = entry.vc
-	}
-	if vc < 0 {
-		return // stall in VA; retry next cycle
-	}
-	down[vc].owner = head.pkt
-	b.active, b.eject = true, false
-	b.outCh, b.outVC = entry.next, int8(vc)
-	b.readyAt = s.cycle + int64(s.cfg.PipelineStages) - 1
-}
-
-// switchAllocateAndTraverse arbitrates each output channel (one flit per
-// cycle) and each ejection port (LocalBandwidth flits per cycle), then
-// moves the winning flits.
-func (s *Simulator) switchAllocateAndTraverse() {
-	// Per-channel switch allocation: candidates are the input VCs at the
-	// channel's source node whose active output is this channel.
-	for ch := 0; ch < s.mesh.NumChannels(); ch++ {
-		out := topology.ChannelID(ch)
-		src := s.mesh.Channel(out).Src
-		cands := s.candidates(src, out)
-		if len(cands) == 0 {
+	for _, bi := range s.routePending {
+		b := &s.bufs[bi]
+		head := s.headFlit(bi, b)
+		if head.idx != 0 {
+			// Body flit at buffer head while inactive can only happen after
+			// a tail release bug; the invariant checker would flag it.
 			continue
 		}
-		pick := cands[s.rrOut[ch]%len(cands)]
-		s.rrOut[ch]++
-		s.forward(pick, out)
+		arrival := topology.InvalidChannel
+		if bi < s.injBase {
+			arrival = topology.ChannelID(bi / s.nVCs)
+		}
+		entry := s.table.lookup(int(s.packets[head.pkt].flow), arrival)
+		if entry.next == topology.InvalidChannel {
+			b.pending = false
+			b.active, b.eject = true, true
+			b.readyAt = s.cycle + int64(s.cfg.PipelineStages) - 1
+			s.ejectPush(bi)
+			continue
+		}
+		// outVC holds the statically requested VC until VA grants one.
+		b.outCh, b.outVC = int32(entry.next), entry.vc
+		s.sortedInsert(&s.vaWait[entry.next], bi)
+		s.vaFlag(int32(entry.next))
 	}
-	// Ejection.
-	for n := 0; n < s.mesh.NumNodes(); n++ {
-		node := topology.NodeID(n)
+	s.routePending = s.routePending[:0]
+	for _, ch := range s.vaRetry {
+		s.vaFlagged[ch] = false
+		for bi := s.vaWait[ch]; bi >= 0; {
+			next := s.bufs[bi].next
+			s.tryClaim(ch, bi)
+			bi = next
+		}
+	}
+	s.vaRetry = s.vaRetry[:0]
+}
+
+// vaFlag queues channel ch for a VA pass in the next routeAndAllocate.
+func (s *Simulator) vaFlag(ch int32) {
+	if !s.vaFlagged[ch] {
+		s.vaFlagged[ch] = true
+		s.vaRetry = append(s.vaRetry, ch)
+	}
+}
+
+// tryClaim attempts to allocate a VC of channel ch to the VA-stalled
+// buffer bi: the statically requested one, or any free one under dynamic
+// allocation. On success the buffer leaves the VA wait list, joins the
+// channel's switch-allocation wait list, and becomes active.
+func (s *Simulator) tryClaim(ch, bi int32) {
+	b := &s.bufs[bi]
+	downBase := ch * s.nVCs
+	vc := int32(-1)
+	if s.cfg.DynamicVC {
+		for v := int32(0); v < s.nVCs; v++ {
+			if s.bufs[downBase+v].owner < 0 {
+				vc = v
+				break
+			}
+		}
+	} else if s.bufs[downBase+b.outVC].owner < 0 {
+		vc = b.outVC
+	}
+	if vc < 0 {
+		return // still stalled; a release of this channel re-flags it
+	}
+	s.bufs[downBase+vc].owner = s.headFlit(bi, b).pkt
+	s.unlink(bi) // leaves vaWait[ch]; dispatch happens on pending
+	b.pending = false
+	b.active, b.eject = true, false
+	b.outVC = vc
+	b.readyAt = s.cycle + int64(s.cfg.PipelineStages) - 1
+	s.chanPush(ch, bi)
+}
+
+// switchAllocateAndTraverse arbitrates each active output channel (one
+// flit per cycle) and each node with ejection work (LocalBandwidth flits
+// per cycle), then moves the winning flits. Channels and nodes whose
+// wait lists emptied are pruned from the active sets lazily.
+func (s *Simulator) switchAllocateAndTraverse() {
+	for i := 0; i < len(s.activeChans); {
+		ch := s.activeChans[i]
+		if s.chanWait[ch] < 0 {
+			last := len(s.activeChans) - 1
+			s.activeChans[i] = s.activeChans[last]
+			s.activeChans = s.activeChans[:last]
+			s.chanQueued[ch] = false
+			continue
+		}
+		cands := s.scratch[:0]
+		for bi := s.chanWait[ch]; bi >= 0; bi = s.bufs[bi].next {
+			b := &s.bufs[bi]
+			if b.count == 0 || s.cycle < b.readyAt {
+				continue
+			}
+			down := ch*s.nVCs + b.outVC
+			if s.bufs[down].count+s.stagedCnt[down] >= s.depth {
+				continue // no credit
+			}
+			cands = append(cands, bi)
+		}
+		s.scratch = cands
+		if len(cands) > 0 {
+			pick := cands[s.rrOut[ch]%len(cands)]
+			s.rrOut[ch]++
+			s.forward(pick)
+		}
+		i++
+	}
+	for i := 0; i < len(s.activeEject); {
+		n := s.activeEject[i]
+		if s.ejectWait[n] < 0 {
+			last := len(s.activeEject) - 1
+			s.activeEject[i] = s.activeEject[last]
+			s.activeEject = s.activeEject[:last]
+			s.ejectQueued[n] = false
+			continue
+		}
 		for budget := s.cfg.LocalBandwidth; budget > 0; budget-- {
-			cands := s.ejectCandidates(node)
+			cands := s.scratch[:0]
+			for bi := s.ejectWait[n]; bi >= 0; bi = s.bufs[bi].next {
+				b := &s.bufs[bi]
+				if b.count > 0 && s.cycle >= b.readyAt {
+					cands = append(cands, bi)
+				}
+			}
+			s.scratch = cands
 			if len(cands) == 0 {
 				break
 			}
 			pick := cands[s.rrEjct[n]%len(cands)]
 			s.rrEjct[n]++
-			s.ejectFlit(pick, node)
+			s.ejectFlit(pick)
 		}
+		i++
 	}
 }
 
-// candidates lists input VC buffers at node whose head flit wants channel
-// out and whose downstream buffer has space. The returned slice is only
-// valid until the next candidates/ejectCandidates call.
-func (s *Simulator) candidates(node topology.NodeID, out topology.ChannelID) []*vcBuf {
-	cands := s.scratch[:0]
-	consider := func(b *vcBuf) {
-		if !b.active || b.eject || b.outCh != out || len(b.buf) == 0 || s.cycle < b.readyAt {
-			return
-		}
-		down := &s.chanVCs[out][b.outVC]
-		if len(down.buf)+s.stagedInto(out, 0, b.outVC) >= s.cfg.BufDepth {
-			return // no credit
-		}
-		cands = append(cands, b)
-	}
-	for _, in := range s.mesh.InChannels(node) {
-		for vc := range s.chanVCs[in] {
-			consider(&s.chanVCs[in][vc])
-		}
-	}
-	for vc := range s.injVCs[node] {
-		consider(&s.injVCs[node][vc])
-	}
-	s.scratch = cands
-	return cands
-}
-
-func (s *Simulator) ejectCandidates(node topology.NodeID) []*vcBuf {
-	cands := s.scratch[:0]
-	consider := func(b *vcBuf) {
-		if b.active && b.eject && len(b.buf) > 0 && s.cycle >= b.readyAt {
-			cands = append(cands, b)
-		}
-	}
-	for _, in := range s.mesh.InChannels(node) {
-		for vc := range s.chanVCs[in] {
-			consider(&s.chanVCs[in][vc])
-		}
-	}
-	// Injection VCs can only eject if a flow's source equals its sink,
-	// which route validation forbids; skip them.
-	s.scratch = cands
-	return cands
-}
-
-// forward dequeues the head flit of b and stages it into (b.outCh,
-// b.outVC).
-func (s *Simulator) forward(b *vcBuf, out topology.ChannelID) {
-	f := b.buf[0]
-	b.buf = b.buf[1:]
-	s.stage(stagedFlit{f: f, ch: out, vc: b.outVC})
+// forward dequeues the head flit of buffer bi and stages it into the
+// routed (outCh, outVC) buffer downstream.
+func (s *Simulator) forward(bi int32) {
+	b := &s.bufs[bi]
+	f := s.popFlit(bi, b)
+	s.stage(f, b.outCh*s.nVCs+b.outVC)
+	s.flitHops++
 	if int(f.idx) == s.cfg.PacketLen-1 {
-		b.reset() // tail left: release this VC for the next packet
+		s.release(bi, b) // tail left: free this VC for the next packet
 	}
 	s.lastMove = s.cycle
 }
 
-// ejectFlit consumes the head flit of b at its destination.
-func (s *Simulator) ejectFlit(b *vcBuf, node topology.NodeID) {
-	f := b.buf[0]
-	b.buf = b.buf[1:]
+// ejectFlit consumes the head flit of buffer bi at its destination; on
+// the tail, statistics are recorded and the packet record is recycled.
+func (s *Simulator) ejectFlit(bi int32) {
+	b := &s.bufs[bi]
+	f := s.popFlit(bi, b)
 	s.inFlight--
+	s.flitHops++
 	s.lastMove = s.cycle
 	if int(f.idx) == s.cfg.PacketLen-1 {
-		b.reset()
+		s.release(bi, b)
 		p := &s.packets[f.pkt]
 		p.doneT = s.cycle
 		s.delivered++
@@ -456,41 +535,31 @@ func (s *Simulator) ejectFlit(b *vcBuf, node topology.NodeID) {
 			s.perFlowLat[p.flow].Add(float64(lat))
 			s.latencyHist.Add(float64(lat))
 		}
+		s.freePkts = append(s.freePkts, f.pkt)
 	}
 }
 
 // stage records a flit delivery applied at end of cycle, so all routers
-// observe a consistent pre-cycle state.
-func (s *Simulator) stage(d stagedFlit) {
-	s.staged = append(s.staged, d)
-	if d.ch == topology.InvalidChannel {
-		s.stagedInj[d.to][d.vc]++
-	} else {
-		s.stagedChan[d.ch][d.vc]++
-	}
-}
-
-// stagedInto counts already-staged deliveries into a buffer this cycle,
-// for credit accounting.
-func (s *Simulator) stagedInto(ch topology.ChannelID, node topology.NodeID, vc int8) int {
-	if ch == topology.InvalidChannel {
-		return int(s.stagedInj[node][vc])
-	}
-	return int(s.stagedChan[ch][vc])
+// observe a consistent pre-cycle state; stagedCnt keeps the O(1) credit
+// accounting.
+func (s *Simulator) stage(f flitRef, buf int32) {
+	s.staged = append(s.staged, stagedFlit{f: f, buf: buf})
+	s.stagedCnt[buf]++
 }
 
 func (s *Simulator) applyStaged() {
 	for _, d := range s.staged {
-		var b *vcBuf
-		if d.ch == topology.InvalidChannel {
-			b = &s.injVCs[d.to][d.vc]
+		b := &s.bufs[d.buf]
+		s.pushFlit(d.buf, b, d.f)
+		s.stagedCnt[d.buf]--
+		if d.buf >= s.injBase {
 			s.inFlight++ // new flit entered the network
-			s.stagedInj[d.to][d.vc]--
-		} else {
-			b = &s.chanVCs[d.ch][d.vc]
-			s.stagedChan[d.ch][d.vc]--
 		}
-		b.buf = append(b.buf, d.f)
+		// A header landing in an empty, unrouted buffer is new RC/VA work.
+		if b.count == 1 && !b.active && !b.pending {
+			b.pending = true
+			s.routePending = append(s.routePending, d.buf)
+		}
 	}
 	s.staged = s.staged[:0]
 }

@@ -12,49 +12,50 @@ import (
 // statically allocated VC there, or an ejection marker.
 type tableEntry struct {
 	next topology.ChannelID // InvalidChannel means eject here
-	vc   int
+	vc   int32
 }
 
-// routingTable is the programmable table-based routing state: indexed by
-// flow and by arrival channel (with one extra pseudo-channel for
-// injection at the source). Routes never repeat a channel (route.Set
-// Validate enforces it), so the (flow, arrival channel) key is
-// unambiguous even when a route crosses one node twice.
+// routingTable is the programmable table-based routing state: a single
+// flat array indexed by flow*(NumChannels+1) + arrival, where arrival 0
+// is the injection pseudo-channel and arrival ch+1 the physical channel
+// ch. Routes never repeat a channel (route.Set Validate enforces it), so
+// the (flow, arrival channel) key is unambiguous even when a route
+// crosses one node twice. The flat layout keeps the hot lookup a single
+// multiply-add with no pointer chase through per-flow slices.
 type routingTable struct {
-	entries [][]tableEntry // [flow][channel+1]
+	entries []tableEntry
+	stride  int // NumChannels+1
 }
-
-const injectionIndex = 0 // pseudo-channel index for "just injected"
 
 func buildTable(topo topology.Topology, set *route.Set) (*routingTable, error) {
-	t := &routingTable{entries: make([][]tableEntry, len(set.Routes))}
-	nc := topo.NumChannels()
+	stride := topo.NumChannels() + 1
+	t := &routingTable{
+		entries: make([]tableEntry, len(set.Routes)*stride),
+		stride:  stride,
+	}
+	for i := range t.entries {
+		t.entries[i] = tableEntry{next: topology.InvalidChannel, vc: -1}
+	}
 	for i, r := range set.Routes {
-		row := make([]tableEntry, nc+1)
-		for j := range row {
-			row[j] = tableEntry{next: topology.InvalidChannel, vc: -1}
-		}
+		row := t.entries[i*stride : (i+1)*stride]
 		if len(r.Channels) == 0 {
 			return nil, fmt.Errorf("sim: flow %s has no route", r.Flow.Name)
 		}
-		row[injectionIndex] = tableEntry{next: r.Channels[0], vc: r.VCs[0]}
+		row[0] = tableEntry{next: r.Channels[0], vc: int32(r.VCs[0])}
 		for h := 0; h < len(r.Channels); h++ {
 			e := tableEntry{next: topology.InvalidChannel, vc: -1}
 			if h+1 < len(r.Channels) {
-				e = tableEntry{next: r.Channels[h+1], vc: r.VCs[h+1]}
+				e = tableEntry{next: r.Channels[h+1], vc: int32(r.VCs[h+1])}
 			}
 			row[int(r.Channels[h])+1] = e
 		}
-		t.entries[i] = row
 	}
 	return t, nil
 }
 
-// lookup returns the routing decision for flow i arriving on channel ch
-// (pass topology.InvalidChannel for injection at the source).
+// lookup returns the routing decision for flow i arriving on channel ch.
+// topology.InvalidChannel (-1) selects the injection pseudo-entry, so
+// the index expression is branch-free for every arrival kind.
 func (t *routingTable) lookup(flow int, ch topology.ChannelID) tableEntry {
-	if ch == topology.InvalidChannel {
-		return t.entries[flow][injectionIndex]
-	}
-	return t.entries[flow][int(ch)+1]
+	return t.entries[flow*t.stride+int(ch)+1]
 }

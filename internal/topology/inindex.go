@@ -1,0 +1,65 @@
+package topology
+
+// InIndex is a compressed-sparse-row view of a topology's input channels:
+// every channel id grouped by destination node in one contiguous slice,
+// with per-node offset ranges. Hot loops (the simulator's buffer layout
+// and its invariant checker) iterate a node's inputs by index arithmetic
+// on the flat slice instead of calling InChannels per visit, which both
+// avoids the interface call and keeps the iteration cache-friendly.
+type InIndex struct {
+	order []ChannelID
+	start []int32 // len NumNodes+1; node n's inputs are order[start[n]:start[n+1]]
+}
+
+// BuildInIndex constructs the CSR input index of any topology. The
+// per-node ordering matches InChannels (channel-id creation order).
+func BuildInIndex(t Topology) InIndex {
+	nn := t.NumNodes()
+	ix := InIndex{
+		order: make([]ChannelID, 0, t.NumChannels()),
+		start: make([]int32, nn+1),
+	}
+	for n := 0; n < nn; n++ {
+		ix.start[n] = int32(len(ix.order))
+		ix.order = append(ix.order, t.InChannels(NodeID(n))...)
+	}
+	ix.start[nn] = int32(len(ix.order))
+	return ix
+}
+
+// Range returns the [lo, hi) index range of node n's input channels in
+// the flat ordering; iterate with At.
+func (ix InIndex) Range(n NodeID) (lo, hi int) {
+	return int(ix.start[n]), int(ix.start[n+1])
+}
+
+// At returns the i-th channel of the flat destination-grouped ordering.
+func (ix InIndex) At(i int) ChannelID { return ix.order[i] }
+
+// In returns node n's input channels as a subslice of the flat ordering.
+// The slice aliases the index; callers must treat it read-only.
+func (ix InIndex) In(n NodeID) []ChannelID {
+	lo, hi := ix.Range(n)
+	return ix.order[lo:hi]
+}
+
+// NumIn reports the in-degree of node n.
+func (ix InIndex) NumIn(n NodeID) int {
+	lo, hi := ix.Range(n)
+	return hi - lo
+}
+
+// InIndexer is implemented by topologies (Mesh, Torus) that precompute
+// their input index at construction.
+type InIndexer interface {
+	InIndex() InIndex
+}
+
+// InIndexOf returns t's precomputed InIndex when it has one, building a
+// fresh index otherwise, so consumers work with any Topology.
+func InIndexOf(t Topology) InIndex {
+	if ixr, ok := t.(InIndexer); ok {
+		return ixr.InIndex()
+	}
+	return BuildInIndex(t)
+}

@@ -1,0 +1,59 @@
+package topology
+
+import "testing"
+
+// The CSR input index must agree with InChannels on every node, for both
+// the precomputed (Mesh/Torus) and generically built paths.
+func TestInIndexMatchesInChannels(t *testing.T) {
+	topos := []struct {
+		name string
+		topo Topology
+	}{
+		{"mesh4x4", NewMesh(4, 4)},
+		{"mesh8x1", NewMesh(8, 1)},
+		{"torus3x5", NewTorus(3, 5)},
+	}
+	for _, tc := range topos {
+		t.Run(tc.name, func(t *testing.T) {
+			ix := InIndexOf(tc.topo)
+			total := 0
+			for n := 0; n < tc.topo.NumNodes(); n++ {
+				node := NodeID(n)
+				want := tc.topo.InChannels(node)
+				got := ix.In(node)
+				if len(got) != len(want) || len(got) != ix.NumIn(node) {
+					t.Fatalf("node %d: %d channels via index, %d via InChannels",
+						n, len(got), len(want))
+				}
+				lo, hi := ix.Range(node)
+				for i := range want {
+					if got[i] != want[i] || ix.At(lo+i) != want[i] {
+						t.Errorf("node %d input %d: index %v, InChannels %v", n, i, got[i], want[i])
+					}
+				}
+				total += hi - lo
+			}
+			if total != tc.topo.NumChannels() {
+				t.Errorf("index covers %d channels, topology has %d", total, tc.topo.NumChannels())
+			}
+		})
+	}
+}
+
+// Mesh and Torus precompute their index; InIndexOf must return it
+// rather than rebuilding.
+func TestInIndexPrecomputed(t *testing.T) {
+	m := NewMesh(3, 3)
+	if _, ok := Topology(m).(InIndexer); !ok {
+		t.Error("Mesh does not expose InIndex")
+	}
+	tr := NewTorus(3, 3)
+	if _, ok := Topology(tr).(InIndexer); !ok {
+		t.Error("Torus does not expose InIndex")
+	}
+	// The precomputed index aliases the same backing array.
+	ix1, ix2 := m.InIndex(), InIndexOf(m)
+	if &ix1.order[0] != &ix2.order[0] {
+		t.Error("InIndexOf rebuilt a precomputed index")
+	}
+}

@@ -13,6 +13,7 @@ type Mesh struct {
 	chanAt [][numDirections]ChannelID
 	out    [][]ChannelID
 	in     [][]ChannelID
+	inIdx  InIndex
 }
 
 // NewMesh constructs a Width x Height mesh. Both dimensions must be at
@@ -47,8 +48,13 @@ func NewMesh(width, height int) *Mesh {
 			add(node, dir)
 		}
 	}
+	m.inIdx = BuildInIndex(m)
 	return m
 }
+
+// InIndex returns the precomputed CSR index of input channels by
+// destination node.
+func (m *Mesh) InIndex() InIndex { return m.inIdx }
 
 // Width reports the X dimension of the mesh.
 func (m *Mesh) Width() int { return m.width }

@@ -16,6 +16,7 @@ type Torus struct {
 	out      [][]ChannelID
 	in       [][]ChannelID
 	wrap     []bool // per channel: crosses the dateline
+	inIdx    InIndex
 }
 
 // NewTorus constructs a Width x Height torus. Both dimensions must be at
@@ -44,8 +45,13 @@ func NewTorus(width, height int) *Torus {
 			t.wrap = append(t.wrap, wrap)
 		}
 	}
+	t.inIdx = BuildInIndex(t)
 	return t
 }
+
+// InIndex returns the precomputed CSR index of input channels by
+// destination node.
+func (t *Torus) InIndex() InIndex { return t.inIdx }
 
 // Width reports the X dimension.
 func (t *Torus) Width() int { return t.width }
