@@ -1,0 +1,97 @@
+package repro
+
+// Route-synthesis benchmarks behind scripts/bench_route.sh and
+// BENCH_route.json. BenchmarkRouteSynthesis times the synthesis jobs the
+// experiment engine actually runs:
+//
+//   - milp-dense:  the 8x8 transpose BSOR-MILP table job on the pre-rework
+//     path — dense-tableau LP relaxations, no basis warm starts, serial
+//     candidate enumeration (the seed behavior, kept behind
+//     MILPSelector.DenseLP / Workers=1).
+//   - milp-sparse: the same job on the reworked stack — sparse revised
+//     simplex, children warm-started from the parent basis, parallel
+//     deduplicated candidate enumeration.
+//   - heuristic-16: the 16x16 mesh and torus synthesis-scale jobs under
+//     BSORHeuristic, which the acceptance bar holds to sub-second MCL-job
+//     latency (reported as ms/op).
+//
+// Each iteration reports the achieved MCL so a speedup can never silently
+// ride on a quality regression.
+
+import (
+	"testing"
+
+	"repro/internal/cdg"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/route"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// synthesisMILP is the smoke-budget MILP of cmd/experiments -fast (the
+// budget CI actually runs), spelled out so the dense twin differs only in
+// engine, worker count, and the formulation extras gated behind the
+// baseline flag.
+func synthesisMILP(dense bool) route.Selector {
+	sel := route.MILPSelector{HopSlack: 2, MaxPathsPerFlow: 8, Refinements: 2,
+		MaxNodes: 40, Gap: 0.01}
+	if dense {
+		sel.DenseLP = true
+		sel.Workers = 1
+	}
+	return sel
+}
+
+func datelineBreakers(b *testing.B) []cdg.Breaker {
+	names := experiments.DatelineBreakerNames()
+	out := make([]cdg.Breaker, len(names))
+	for i, n := range names {
+		br, err := experiments.BreakerByName(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out[i] = br
+	}
+	return out
+}
+
+func benchSynthesis(b *testing.B, g topology.Grid, sel route.Selector, breakers []cdg.Breaker) {
+	flows := traffic.Transpose(g, traffic.DefaultSyntheticDemand)
+	cfg := core.Config{VCs: 2, Selector: sel, Breakers: breakers}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		set, _, err := core.Best(g, flows, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mcl, _ := set.MCL()
+		b.ReportMetric(mcl, "MCL")
+	}
+}
+
+// BenchmarkRouteSynthesis times route synthesis end to end (candidate
+// enumeration + CDG exploration + selection) for the jobs quoted in
+// BENCH_route.json.
+func BenchmarkRouteSynthesis(b *testing.B) {
+	// The 8x8 MILP pair is one Table 6.1 cell — transpose under the
+	// negative-first CDG, the cell whose synthesis a table job caches —
+	// solved by the seed stack (dense) and the reworked stack (sparse).
+	// The 16x16 jobs are the synth16 scenario jobs: the mesh explores the
+	// five table CDGs, the torus its twelve dateline CDGs.
+	negFirst := experiments.TableBreakers()[2:3]
+	b.Run("mesh8x8-transpose-milp-dense", func(b *testing.B) {
+		benchSynthesis(b, topology.NewMesh(8, 8), synthesisMILP(true), negFirst)
+	})
+	b.Run("mesh8x8-transpose-milp-sparse", func(b *testing.B) {
+		benchSynthesis(b, topology.NewMesh(8, 8), synthesisMILP(false), negFirst)
+	})
+	b.Run("mesh16x16-transpose-heuristic", func(b *testing.B) {
+		benchSynthesis(b, topology.NewMesh(16, 16),
+			route.BSORHeuristic{HopSlack: 2, MaxPathsPerFlow: 32}, experiments.TableBreakers())
+	})
+	b.Run("torus16x16-transpose-heuristic", func(b *testing.B) {
+		benchSynthesis(b, topology.NewTorus(16, 16),
+			route.BSORHeuristic{HopSlack: 2, MaxPathsPerFlow: 32}, datelineBreakers(b))
+	})
+}

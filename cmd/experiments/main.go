@@ -224,6 +224,23 @@ func registry() []experiment {
 		jobs:  vcAll,
 		print: printVCSweep,
 	})
+	// Synthesis-scale scenarios: 16x16 MCL tables the sparse engine and the
+	// greedy heuristic make affordable (the MILP column is intentionally
+	// absent at this scale — BSOR-Heuristic is its stand-in).
+	add(experiment{
+		name:  "synth16-mesh",
+		title: "Synthesis scale (16x16 mesh: MCL in MB/s per algorithm, synthetic workloads)",
+		jobs: experiments.SynthScaleJobs("synth16-mesh", experiments.MeshSpec(16, 16),
+			experiments.SynthScaleAlgorithms(), experiments.TableBreakerNames(), *vcs),
+		print: printAlgoRows,
+	})
+	add(experiment{
+		name:  "synth16-torus",
+		title: "Synthesis scale (16x16 torus: MCL in MB/s per algorithm, dateline CDGs)",
+		jobs: experiments.SynthScaleJobs("synth16-torus", experiments.TorusSpec(16, 16),
+			experiments.SynthScaleAlgorithms(), experiments.DatelineBreakerNames(), *vcs),
+		print: printAlgoRows,
+	})
 	return exps
 }
 

@@ -235,6 +235,9 @@ type Runner struct {
 	// Dijkstra is the selector behind "BSOR-Dijkstra" jobs; nil means
 	// route.DijkstraSelector{}.
 	Dijkstra route.Selector
+	// Heuristic is the selector behind "BSOR-Heuristic" jobs; nil means
+	// DefaultHeuristic.
+	Heuristic route.Selector
 
 	cache synthCache
 
@@ -257,6 +260,12 @@ func NewRunner() *Runner { return &Runner{} }
 // published-quality setting of cmd/experiments.
 func DefaultMILP() route.Selector {
 	return route.MILPSelector{HopSlack: 2, MaxPathsPerFlow: 16, Refinements: 3, MaxNodes: 120, Gap: 0.01}
+}
+
+// DefaultHeuristic is the greedy approximation used when Runner.Heuristic
+// is nil: the synthesis-scale setting behind the 16x16 scenarios.
+func DefaultHeuristic() route.Selector {
+	return route.BSORHeuristic{HopSlack: 2, MaxPathsPerFlow: 32}
 }
 
 // SynthesisCount reports how many route syntheses the cache has computed
@@ -419,6 +428,12 @@ func (r *Runner) algorithm(j Job) (route.Algorithm, error) {
 		sel := r.Dijkstra
 		if sel == nil {
 			sel = route.DijkstraSelector{}
+		}
+		return bsor(sel, j.Algorithm)
+	case "BSOR-Heuristic":
+		sel := r.Heuristic
+		if sel == nil {
+			sel = DefaultHeuristic()
 		}
 		return bsor(sel, j.Algorithm)
 	case "XY":

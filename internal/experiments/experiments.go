@@ -40,6 +40,13 @@ func WorkloadNames() []string {
 		"h264", "perf-modeling", "transmitter"}
 }
 
+// SyntheticWorkloadNames lists the three synthetic patterns. Unlike the
+// profiled applications, which carry fixed 8x8 placements, these scale to
+// any grid size and parameterize the synthesis-scale (16x16) scenarios.
+func SyntheticWorkloadNames() []string {
+	return []string{"transpose", "bit-complement", "shuffle"}
+}
+
 // Workloads returns the thesis' six workloads on an 8x8 grid (mesh or
 // torus): three synthetic patterns at 25 MB/s per flow and three profiled
 // applications.

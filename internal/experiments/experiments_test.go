@@ -180,10 +180,57 @@ func TestInjectionTrace(t *testing.T) {
 func TestDynamicVCPolicy(t *testing.T) {
 	for name, want := range map[string]bool{
 		"XY": true, "YX": true, "ROMM": false, "Valiant": false,
-		"BSOR-MILP": false, "BSOR-Dijkstra": false,
+		"BSOR-MILP": false, "BSOR-Dijkstra": false, "BSOR-Heuristic": false,
 	} {
 		if dynamicVC(name) != want {
 			t.Errorf("dynamicVC(%s) = %v", name, dynamicVC(name))
 		}
+	}
+}
+
+// TestSynthScaleJobs pins the synthesis-scale job builder: synthetic
+// workloads only, breakers attached to BSOR variants (including the
+// heuristic) and to nothing else.
+func TestSynthScaleJobs(t *testing.T) {
+	jobs := SynthScaleJobs("synth16-mesh", MeshSpec(16, 16), SynthScaleAlgorithms(),
+		TableBreakerNames(), 2)
+	wantJobs := len(SyntheticWorkloadNames()) * len(SynthScaleAlgorithms())
+	if len(jobs) != wantJobs {
+		t.Fatalf("%d jobs, want %d", len(jobs), wantJobs)
+	}
+	for _, j := range jobs {
+		if j.Kind != KindMCL {
+			t.Errorf("%s/%s: kind %s", j.Workload, j.Algorithm, j.Kind)
+		}
+		wantBreakers := isBSOR(j.Algorithm)
+		if (len(j.Breakers) > 0) != wantBreakers {
+			t.Errorf("%s: breakers %v", j.Algorithm, j.Breakers)
+		}
+	}
+}
+
+// TestHeuristicJobRuns executes a BSOR-Heuristic MCL job end to end on the
+// engine and checks it lands in the same league as BSOR-Dijkstra.
+func TestHeuristicJobRuns(t *testing.T) {
+	r := NewRunner()
+	jobs := []Job{
+		{Experiment: "t", Kind: KindMCL, Topo: MeshSpec(8, 8), Workload: "transpose",
+			Algorithm: "BSOR-Heuristic", Breakers: TableBreakerNames()[:2], VCs: 2},
+		{Experiment: "t", Kind: KindMCL, Topo: MeshSpec(8, 8), Workload: "transpose",
+			Algorithm: "XY", VCs: 2},
+	}
+	results := r.Run(jobs)
+	heur, xy := results[0], results[1]
+	if heur.Err != "" {
+		t.Fatalf("heuristic job failed: %s", heur.Err)
+	}
+	if heur.MCL <= 0 {
+		t.Fatalf("heuristic MCL %g", heur.MCL)
+	}
+	if heur.MCL > xy.MCL+1e-9 {
+		t.Errorf("BSOR-Heuristic MCL %g worse than XY %g", heur.MCL, xy.MCL)
+	}
+	if heur.Breaker == "" {
+		t.Error("heuristic result lost its winning breaker")
 	}
 }

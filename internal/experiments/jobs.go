@@ -85,9 +85,41 @@ func VCSweepJobs(experiment string, topo TopoSpec, workload string, algorithms [
 	return jobs
 }
 
+// SynthScaleJobs builds a synthesis-scale experiment: one KindMCL job per
+// synthetic workload x algorithm on one (typically 16x16) topology. It
+// mirrors AlgoTableJobs with the workload set swapped, because the
+// profiled applications carry fixed 8x8 placements that do not scale.
+func SynthScaleJobs(experiment string, topo TopoSpec, algorithms []string, breakers []string, vcs int) []Job {
+	var jobs []Job
+	for _, w := range SyntheticWorkloadNames() {
+		for _, a := range algorithms {
+			j := Job{
+				Experiment: experiment, Kind: KindMCL, Topo: topo,
+				Workload: w, Algorithm: a, VCs: vcs,
+			}
+			if isBSOR(a) {
+				j.Breakers = breakers
+			}
+			jobs = append(jobs, j)
+		}
+	}
+	return jobs
+}
+
+// SynthScaleAlgorithms returns the algorithm columns of the synthesis-scale
+// scenarios: the cheap oblivious baselines plus the BSOR selectors that
+// stay tractable at 16x16. BSOR-MILP is deliberately absent — the greedy
+// heuristic is its substitute at this scale, which is the point of the
+// comparison.
+func SynthScaleAlgorithms() []string {
+	return []string{"XY", "YX", "O1TURN", "BSOR-Dijkstra", "BSOR-Heuristic"}
+}
+
 // isBSOR reports whether an algorithm name is a BSOR variant (and thus
 // takes a breaker list).
-func isBSOR(name string) bool { return name == "BSOR-MILP" || name == "BSOR-Dijkstra" }
+func isBSOR(name string) bool {
+	return name == "BSOR-MILP" || name == "BSOR-Dijkstra" || name == "BSOR-Heuristic"
+}
 
 // FigureAlgorithms returns the six algorithms of the throughput/latency
 // figures, in the thesis' order.

@@ -13,6 +13,8 @@ package flowgraph
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"repro/internal/cdg"
 	"repro/internal/topology"
@@ -47,6 +49,12 @@ type Graph struct {
 	// share its bandwidth, so capacity and load are per channel, not per
 	// CDG vertex).
 	capacity []float64
+
+	// rev is the reverse adjacency, built lazily for sink-distance pruning
+	// during candidate enumeration. Guarded by revOnce; the graph itself is
+	// immutable after construction, so concurrent enumerations share it.
+	revOnce sync.Once
+	rev     [][]VertexID
 }
 
 // New builds G_A from an acyclic CDG and a flow set, with a uniform channel
@@ -198,11 +206,243 @@ func (g *Graph) Validate(i int, p Path) error {
 	return nil
 }
 
+// reverse returns the lazily built reverse adjacency of G_A.
+func (g *Graph) reverse() [][]VertexID {
+	g.revOnce.Do(func() {
+		rev := make([][]VertexID, len(g.out))
+		for v, succ := range g.out {
+			for _, w := range succ {
+				rev[w] = append(rev[w], VertexID(v))
+			}
+		}
+		g.rev = rev
+	})
+	return g.rev
+}
+
+// sinkDist computes, per vertex, the minimal number of additional channel
+// vertices a path must still cross after that vertex to reach flow i's sink
+// terminal (-1 when the sink is unreachable). A breadth-first search over
+// the reverse adjacency; used to prune enumeration branches that cannot
+// complete within a hop budget.
+func (g *Graph) sinkDist(i int) []int32 {
+	rev := g.reverse()
+	d := make([]int32, len(g.out))
+	for j := range d {
+		d[j] = -1
+	}
+	snk := g.SinkTerminal(i)
+	queue := make([]VertexID, 0, len(rev[snk]))
+	for _, v := range rev[snk] {
+		if d[v] < 0 {
+			d[v] = 0
+			queue = append(queue, v)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range rev[v] {
+			if g.IsTerminal(u) || d[u] >= 0 {
+				continue
+			}
+			d[u] = d[v] + 1
+			queue = append(queue, u)
+		}
+	}
+	return d
+}
+
 // EnumeratePaths lists source-to-sink paths for flow i whose hop count is
 // at most maxHops, stopping after maxPaths paths (0 means no cap for
 // either limit). G_A is a DAG, so enumeration terminates; paths are
-// discovered in depth-first order.
+// discovered in depth-first order. Branches that cannot reach the sink
+// within the remaining hop budget are pruned via a per-flow reverse
+// breadth-first distance, which leaves the discovered path sequence
+// unchanged but makes enumeration output-bound instead of walk-bound.
 func (g *Graph) EnumeratePaths(i int, maxHops, maxPaths int) []Path {
+	return g.enumerate(i, maxHops, maxPaths)
+}
+
+// EnumeratePathsDedup enumerates source-to-sink paths for flow i like
+// EnumeratePaths, but yields exactly one candidate per distinct physical
+// channel sequence, with maxPaths counting deduplicated sequences. Paths
+// that differ only in VC labels induce identical channel-load rows, so
+// route selection wants one canonical candidate per sequence — and with
+// several virtual channels a vertex-space walk would wade through
+// exponentially many VC labelings between unique sequences. The search
+// therefore runs directly in channel space, carrying the set of virtual
+// channels reachable at each hop as a bitmask; a concrete VC labeling is
+// reconstructed once a sequence completes. Channel successors are visited
+// in ascending channel order, so the output is deterministic.
+func (g *Graph) EnumeratePathsDedup(i int, maxHops, maxPaths int) []Path {
+	dist := g.sinkDist(i)
+	dag := g.dag
+	nVCs := dag.VCs()
+	snk := g.SinkTerminal(i)
+	if nVCs > 32 {
+		panic("flowgraph: EnumeratePathsDedup supports at most 32 virtual channels")
+	}
+
+	// liveMask masks off VCs of a channel that cannot reach the sink, and
+	// minDist is the tightest completion distance over the remaining VCs.
+	liveMask := func(ch topology.ChannelID, mask uint32) (uint32, int32) {
+		out, best := uint32(0), int32(-1)
+		for vc := 0; vc < nVCs; vc++ {
+			if mask&(1<<vc) == 0 {
+				continue
+			}
+			d := dist[dag.Vertex(ch, vc)]
+			if d < 0 {
+				continue
+			}
+			out |= 1 << vc
+			if best < 0 || d < best {
+				best = d
+			}
+		}
+		return out, best
+	}
+
+	// sortedNexts flattens a channel->VC-mask accumulation into ascending
+	// channel order — the deterministic visit order both the per-hop
+	// expansion and the first-hop discovery below rely on.
+	type next struct {
+		ch   topology.ChannelID
+		mask uint32
+	}
+	sortedNexts := func(acc map[topology.ChannelID]uint32) []next {
+		nexts := make([]next, 0, len(acc))
+		for ch, m := range acc {
+			nexts = append(nexts, next{ch, m})
+		}
+		sort.Slice(nexts, func(a, b int) bool { return nexts[a].ch < nexts[b].ch })
+		return nexts
+	}
+
+	// succ expands one hop: all channel successors of (ch, mask) with their
+	// reachable VC masks, in ascending channel order, plus whether the
+	// sequence may terminate here (some live VC feeds the sink terminal).
+	succ := func(ch topology.ChannelID, mask uint32) (nexts []next, done bool) {
+		acc := make(map[topology.ChannelID]uint32)
+		for vc := 0; vc < nVCs; vc++ {
+			if mask&(1<<vc) == 0 {
+				continue
+			}
+			v := VertexID(dag.Vertex(ch, vc))
+			for _, w := range g.out[v] {
+				if g.IsTerminal(w) {
+					if w == snk {
+						done = true
+					}
+					continue
+				}
+				ch2, vc2 := dag.ChannelVC(cdg.VertexID(w))
+				acc[ch2] |= 1 << vc2
+			}
+		}
+		return sortedNexts(acc), done
+	}
+
+	// reconstruct turns a completed channel sequence plus its per-hop VC
+	// masks into one concrete CDG path (lowest feasible VC at each hop,
+	// chosen backwards from the sink).
+	reconstruct := func(chs []topology.ChannelID, masks []uint32) Path {
+		n := len(chs)
+		p := make(Path, n)
+		last := -1
+		for vc := 0; vc < nVCs; vc++ {
+			if masks[n-1]&(1<<vc) == 0 {
+				continue
+			}
+			v := VertexID(dag.Vertex(chs[n-1], vc))
+			for _, w := range g.out[v] {
+				if w == snk {
+					last = vc
+					break
+				}
+			}
+			if last >= 0 {
+				break
+			}
+		}
+		p[n-1] = dag.Vertex(chs[n-1], last)
+		for k := n - 2; k >= 0; k-- {
+			for vc := 0; vc < nVCs; vc++ {
+				if masks[k]&(1<<vc) == 0 {
+					continue
+				}
+				if dag.HasEdge(dag.Vertex(chs[k], vc), p[k+1]) {
+					p[k] = dag.Vertex(chs[k], vc)
+					break
+				}
+			}
+		}
+		return p
+	}
+
+	var (
+		paths []Path
+		chs   []topology.ChannelID
+		masks []uint32
+	)
+	var dfs func(ch topology.ChannelID, mask uint32) bool
+	dfs = func(ch topology.ChannelID, mask uint32) bool {
+		chs = append(chs, ch)
+		masks = append(masks, mask)
+		defer func() {
+			chs = chs[:len(chs)-1]
+			masks = masks[:len(masks)-1]
+		}()
+		nexts, done := succ(ch, mask)
+		if done {
+			paths = append(paths, reconstruct(chs, masks))
+			if maxPaths > 0 && len(paths) >= maxPaths {
+				return false
+			}
+		}
+		for _, nx := range nexts {
+			live, d := liveMask(nx.ch, nx.mask)
+			if live == 0 {
+				continue
+			}
+			if maxHops > 0 && len(chs)+1+int(d) > maxHops {
+				continue
+			}
+			if !dfs(nx.ch, live) {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Distinct first channels reachable from the source terminal, with
+	// their VC masks, in ascending channel order.
+	acc := make(map[topology.ChannelID]uint32)
+	for _, w := range g.out[g.SrcTerminal(i)] {
+		if g.IsTerminal(w) {
+			continue
+		}
+		ch, vc := dag.ChannelVC(cdg.VertexID(w))
+		acc[ch] |= 1 << vc
+	}
+	for _, f := range sortedNexts(acc) {
+		live, d := liveMask(f.ch, f.mask)
+		if live == 0 {
+			continue
+		}
+		if maxHops > 0 && 1+int(d) > maxHops {
+			continue
+		}
+		if !dfs(f.ch, live) {
+			break
+		}
+	}
+	return paths
+}
+
+func (g *Graph) enumerate(i int, maxHops, maxPaths int) []Path {
+	dist := g.sinkDist(i)
 	var (
 		paths []Path
 		cur   []cdg.VertexID
@@ -210,29 +450,31 @@ func (g *Graph) EnumeratePaths(i int, maxHops, maxPaths int) []Path {
 	snk := g.SinkTerminal(i)
 	var dfs func(v VertexID) bool // returns false to stop the enumeration
 	dfs = func(v VertexID) bool {
-		if maxHops > 0 && len(cur) > maxHops {
-			return true
-		}
 		if v == snk {
 			p := make(Path, len(cur))
 			copy(p, cur)
 			paths = append(paths, p)
 			return maxPaths == 0 || len(paths) < maxPaths
 		}
-		if g.IsTerminal(v) && v != g.SrcTerminal(i) {
-			return true // another flow's terminal; not part of this search
-		}
 		for _, w := range g.out[v] {
-			if g.IsTerminal(w) && w != snk {
+			if g.IsTerminal(w) {
+				if w != snk {
+					continue // another flow's terminal
+				}
+				if !dfs(w) {
+					return false
+				}
 				continue
 			}
-			if !g.IsTerminal(w) {
-				cur = append(cur, cdg.VertexID(w))
+			if dist[w] < 0 {
+				continue // cannot reach this flow's sink at all
 			}
+			if maxHops > 0 && len(cur)+1+int(dist[w]) > maxHops {
+				continue // cannot complete within the hop budget
+			}
+			cur = append(cur, cdg.VertexID(w))
 			ok := dfs(w)
-			if !g.IsTerminal(w) {
-				cur = cur[:len(cur)-1]
-			}
+			cur = cur[:len(cur)-1]
 			if !ok {
 				return false
 			}

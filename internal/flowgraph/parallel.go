@@ -1,0 +1,54 @@
+package flowgraph
+
+import (
+	"runtime"
+	"sync"
+)
+
+// EnumerateAll runs EnumeratePathsDedup for every flow of the network on a
+// worker pool and merges the per-flow results in flow order. Each flow's
+// enumeration is independent and deterministic, so the output is
+// byte-identical for any worker count — the property the route-synthesis
+// golden tests pin. budgets holds one hop budget per flow (0 means
+// unbounded); maxPaths caps the deduplicated candidates per flow (0 means
+// uncapped); workers <= 0 uses GOMAXPROCS.
+func (g *Graph) EnumerateAll(budgets []int, maxPaths, workers int) [][]Path {
+	n := len(g.flows)
+	if len(budgets) != n {
+		panic("flowgraph: EnumerateAll needs one budget per flow")
+	}
+	out := make([][]Path, n)
+	if n == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			out[i] = g.EnumeratePathsDedup(i, budgets[i], maxPaths)
+		}
+		return out
+	}
+	g.reverse() // build the shared reverse adjacency before fanning out
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = g.EnumeratePathsDedup(i, budgets[i], maxPaths)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}

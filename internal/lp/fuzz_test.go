@@ -1,0 +1,112 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzSparseVsDense decodes a small LP from fuzz bytes and cross-checks the
+// sparse revised simplex against the retained dense tableau: statuses must
+// agree and optimal objectives must match to tolerance. The seeded corpus
+// runs under plain `go test`; `go test -fuzz=FuzzSparseVsDense ./internal/lp`
+// explores further.
+func FuzzSparseVsDense(f *testing.F) {
+	// Seed corpus: hand-picked byte strings covering maximization, GE/EQ
+	// rows, negative RHS, fixed variables, and infeasible boxes.
+	f.Add([]byte{2, 1, 0, 10, 5, 200, 3, 0, 7, 1, 2})
+	f.Add([]byte{3, 2, 1, 5, 9, 100, 4, 8, 120, 1, 3, 2, 0, 6, 250, 2, 1, 1, 1, 9})
+	f.Add([]byte{4, 3, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19})
+	f.Add([]byte{5, 4, 1, 255, 254, 253, 0, 1, 2, 127, 128, 129, 63, 64, 65, 31, 32, 33, 200, 100, 50, 25})
+	f.Add([]byte{6, 6, 0, 11, 22, 33, 44, 55, 66, 77, 88, 99, 110, 121, 132, 143, 154, 165, 176, 187, 198, 209, 220, 231, 242, 253, 8})
+	f.Add([]byte{2, 2, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{3, 1, 0, 90, 90, 90, 90, 90, 90, 90})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := problemFromBytes(data)
+		if p == nil {
+			return
+		}
+		ds, derr := SolveDense(p)
+		ss, serr := Solve(p)
+		// Iteration-limit pathologies on either engine are not agreement
+		// failures; both engines surface them as errors.
+		if derr != nil || serr != nil {
+			return
+		}
+		if ds.Status != ss.Status {
+			t.Fatalf("status mismatch: dense %v, sparse %v", ds.Status, ss.Status)
+		}
+		if ds.Status != Optimal {
+			return
+		}
+		if math.Abs(ds.Objective-ss.Objective) > 1e-5*(1+math.Abs(ds.Objective)) {
+			t.Fatalf("objective mismatch: dense %g, sparse %g", ds.Objective, ss.Objective)
+		}
+		// The sparse point must satisfy its own problem.
+		if _, _, ok := p.checkFeasible(ss.X, 1); !ok {
+			t.Fatalf("sparse solution violates constraints")
+		}
+	})
+}
+
+// problemFromBytes decodes data into a small LP: byte 0 is the variable
+// count (clamped to [1, 6]), byte 1 the constraint count (clamped to
+// [1, 6]), byte 2 the objective sense, then per-variable (ub, cost) pairs
+// and per-constraint (sense, rhs, coef...) groups. Returns nil when data is
+// too short to fill every field.
+func problemFromBytes(data []byte) *Problem {
+	if len(data) < 3 {
+		return nil
+	}
+	nv := 1 + int(data[0])%6
+	nc := 1 + int(data[1])%6
+	maximize := data[2]%2 == 1
+	next := 3
+	take := func() (byte, bool) {
+		if next >= len(data) {
+			return 0, false
+		}
+		b := data[next]
+		next++
+		return b, true
+	}
+	p := NewProblem()
+	p.SetMaximize(maximize)
+	for j := 0; j < nv; j++ {
+		ubb, ok1 := take()
+		cb, ok2 := take()
+		if !ok1 || !ok2 {
+			return nil
+		}
+		ub := float64(ubb % 12) // ub 0 makes a fixed variable
+		cost := float64(int(cb%21) - 10)
+		p.AddVar("", 0, ub, cost)
+	}
+	for i := 0; i < nc; i++ {
+		sb, ok := take()
+		if !ok {
+			return nil
+		}
+		rb, ok := take()
+		if !ok {
+			return nil
+		}
+		sense := Sense(sb % 3)
+		rhs := float64(int(rb%25) - 8)
+		var terms []Term
+		for j := 0; j < nv; j++ {
+			cb, ok := take()
+			if !ok {
+				return nil
+			}
+			if c := int(cb%9) - 4; c != 0 {
+				terms = append(terms, Term{j, float64(c)})
+			}
+		}
+		if len(terms) == 0 {
+			terms = []Term{{0, 1}}
+		}
+		p.AddConstraint(terms, sense, rhs)
+	}
+	return p
+}

@@ -20,6 +20,11 @@ type MILPOptions struct {
 	// effective from the first node. An infeasible warm start is
 	// silently ignored.
 	WarmStart []float64
+	// Engine selects the LP engine for node relaxations. The default,
+	// EngineSparse, additionally warm-starts every child node from its
+	// parent's optimal basis (dual-simplex restoration) instead of
+	// re-solving from a crash basis.
+	Engine Engine
 }
 
 func (o MILPOptions) withDefaults() MILPOptions {
@@ -36,6 +41,9 @@ type bbNode struct {
 	lb, ub []float64
 	bound  float64 // parent LP objective (minimization sense)
 	depth  int
+	// warm is the parent's optimal basis (sparse engine only); the child
+	// re-solve starts from it instead of a crash basis.
+	warm *basisState
 }
 
 // SolveMILP solves p respecting its integer variable markers using
@@ -51,7 +59,30 @@ func SolveMILP(p *Problem, opts MILPOptions) (*Solution, error) {
 		}
 	}
 	if len(intVars) == 0 {
+		if opts.Engine == EngineDense {
+			return SolveDense(p)
+		}
 		return Solve(p)
+	}
+
+	// solveNode runs one LP relaxation. The sparse engine reuses one solver
+	// instance (constraint storage and scratch) across all nodes and
+	// warm-starts from the parent basis when the node carries one.
+	// Bound propagation and basis warm starts belong to the sparse rework;
+	// the dense engine keeps the original node-by-node re-solve behavior so
+	// it remains a faithful baseline for cross-validation and benchmarks.
+	var sp *sparseSolver
+	var prop *propagator
+	if opts.Engine != EngineDense {
+		sp = newSparseSolver(p)
+		prop = newPropagator(p)
+	}
+	solveNode := func(node bbNode) (*Solution, *basisState, error) {
+		if sp != nil {
+			return sp.solveLP(node.lb, node.ub, node.warm)
+		}
+		sol, err := solveLP(p, node.lb, node.ub)
+		return sol, nil, err
 	}
 
 	sign := 1.0
@@ -91,7 +122,7 @@ func SolveMILP(p *Problem, opts MILPOptions) (*Solution, error) {
 		}
 		nodes++
 
-		sol, err := solveLP(p, node.lb, node.ub)
+		sol, state, err := solveNode(node)
 		if err != nil {
 			return nil, err
 		}
@@ -134,13 +165,25 @@ func SolveMILP(p *Problem, opts MILPOptions) (*Solution, error) {
 		}
 
 		xv := sol.X[branch]
-		floorUB := append([]float64(nil), node.ub...)
-		floorUB[branch] = math.Floor(xv)
-		ceilLB := append([]float64(nil), node.lb...)
-		ceilLB[branch] = math.Ceil(xv)
-		children := []bbNode{
-			{lb: node.lb, ub: floorUB, bound: obj, depth: node.depth + 1},
-			{lb: ceilLB, ub: node.ub, bound: obj, depth: node.depth + 1},
+		mkChild := func(toUB bool) (bbNode, bool) {
+			lb := append([]float64(nil), node.lb...)
+			ub := append([]float64(nil), node.ub...)
+			if toUB {
+				ub[branch] = math.Floor(xv)
+			} else {
+				lb[branch] = math.Ceil(xv)
+			}
+			if prop != nil && !prop.propagate(lb, ub, branch) {
+				return bbNode{}, false // child proven empty by propagation
+			}
+			return bbNode{lb: lb, ub: ub, bound: obj, depth: node.depth + 1, warm: state}, true
+		}
+		var children []bbNode
+		if c, ok := mkChild(true); ok {
+			children = append(children, c)
+		}
+		if c, ok := mkChild(false); ok {
+			children = append(children, c)
 		}
 		// Depth-first dive order: the stack pops the last-pushed child, so
 		// the child to explore first goes last. For 0/1 variables always
@@ -153,18 +196,18 @@ func SolveMILP(p *Problem, opts MILPOptions) (*Solution, error) {
 		if p.vars[branch].ub > 1 || p.vars[branch].lb < 0 {
 			diveUp = xv-math.Floor(xv) > 0.5
 		}
-		if !diveUp {
+		if len(children) == 2 && !diveUp {
 			children[0], children[1] = children[1], children[0]
 		}
 		stack = append(stack, children...)
 	}
 
 	if best == nil {
-		if truncated {
-			// No incumbent within the node budget: report infeasible-as-
-			// truncated via Feasible=false; callers treat this as failure.
-			return &Solution{Status: Infeasible, Nodes: nodes}, nil
-		}
+		// No integral solution found. When the search was truncated this is
+		// not a proof of infeasibility, but the status vocabulary has no
+		// separate word for it; callers that care (route's restricted
+		// masters warm-start an incumbent precisely so a truncated search
+		// still has an answer) can distinguish via Nodes >= MaxNodes.
 		return &Solution{Status: Infeasible, Nodes: nodes}, nil
 	}
 	best.Nodes = nodes

@@ -426,7 +426,16 @@ func (s *simplex) pivot(q, leave int, sigma, t float64, leaveToUB bool) {
 	s.xB[leave] = enterVal
 }
 
-// Solve solves the LP relaxation of p (integer markers ignored).
+// Solve solves the LP relaxation of p (integer markers ignored) with the
+// sparse revised simplex.
 func Solve(p *Problem) (*Solution, error) {
+	sol, _, err := newSparseSolver(p).solveLP(nil, nil, nil)
+	return sol, err
+}
+
+// SolveDense solves the LP relaxation with the retained dense-tableau
+// simplex. It exists for cross-validation (the fuzz corpus compares the two
+// engines) and for benchmarking the sparse rewrite against its baseline.
+func SolveDense(p *Problem) (*Solution, error) {
 	return solveLP(p, nil, nil)
 }

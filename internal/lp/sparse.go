@@ -1,0 +1,1033 @@
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+)
+
+// lpDebug gates solver-path diagnostics (warm-start fallbacks, phase-1
+// infeasibility declarations) to stderr.
+var lpDebug = os.Getenv("LP_DEBUG") != ""
+
+// Engine selects the simplex implementation behind Solve and SolveMILP.
+type Engine int
+
+const (
+	// EngineSparse (the default) is a revised simplex over column-wise
+	// sparse constraint storage. Branch-and-bound children are warm-started
+	// from their parent's optimal basis with a dual-simplex restoration
+	// pass instead of re-solving from scratch.
+	EngineSparse Engine = iota
+	// EngineDense is the original dense-tableau two-phase simplex, retained
+	// for small instances and cross-validation: the fuzz corpus checks the
+	// two engines agree on random problems, and benchmarks quote the
+	// dense-versus-sparse synthesis speedup.
+	EngineDense
+)
+
+// ErrSingularBasis is returned when a basis refactorization fails; the
+// branch-and-bound layer treats it as a signal to re-solve cold.
+var ErrSingularBasis = errors.New("lp: singular basis")
+
+// refactorEvery bounds how many elementary product-form updates the dense
+// basis inverse accumulates before a full refactorization limits drift.
+const refactorEvery = 64
+
+// alpha eligibility threshold for dual-simplex entering candidates.
+const epsAlpha = 1e-7
+
+// Harris ratio-test tolerances: how much primal (resp. dual) feasibility a
+// single pivot may give away in exchange for a larger, numerically safer
+// pivot element. Tiny pivots are the failure mode that matters here — a
+// 1e-7 pivot turns a unit bound violation into a 1e7-scale basis swing.
+const (
+	harrisPrimal = 1e-7
+	harrisDual   = 1e-6
+)
+
+// phase1Tol accepts a perturbed phase-1 optimum as feasible; see the check
+// in coldSolve.
+const phase1Tol = 1e-5
+
+// cscMatrix is column-compressed storage of the structural and slack
+// columns: col j occupies rowIdx/val[colPtr[j]:colPtr[j+1]].
+type cscMatrix struct {
+	colPtr []int32
+	rowIdx []int32
+	val    []float64
+}
+
+// basisState snapshots a simplex basis so a closely related solve (a
+// branch-and-bound child that differs from its parent in one variable
+// bound) can start from the parent's optimal basis.
+type basisState struct {
+	basis   []int
+	stat    []varStatus
+	artSign []float64
+}
+
+// sparseSolver is a revised bounded-variable simplex over one Problem: the
+// constraint matrix is stored once in sparse column-major form, the basis
+// inverse is maintained densely (m x m) with product-form updates and
+// periodic refactorization, and pricing touches only the nonzeros of each
+// column. A solver instance is reused across every node of a
+// branch-and-bound search; only bounds and basis state change per solve.
+type sparseSolver struct {
+	p       *Problem
+	m       int // rows
+	nStruct int
+	nReal   int // structural + slack
+	n       int // + one artificial per row
+
+	A        cscMatrix
+	artRows  []int32 // artificial column j has single entry at row j-nReal
+	rowSlack []int   // slack column per row; -1 for EQ rows
+	rhs      []float64
+
+	phase1Cost []float64 // 1 on artificials
+	phase2Cost []float64 // sign-adjusted objective on structural columns
+
+	// Per-solve state (bounds are rewritten by every solveLP call).
+	lb, ub   []float64 // working bounds (perturbed during cold phases)
+	lbX, ubX []float64 // exact bounds of the current solve
+	costP    []float64 // perturbed phase-2 costs (dual ratio tie-breaking)
+	stat     []varStatus
+	basis    []int
+	artSign  []float64 // artificial column coefficient per row (set by crash)
+	binv     []float64 // dense m x m basis inverse, row-major
+	binvOK   bool      // binv matches basis/artSign
+	xB       []float64
+
+	// Scratch.
+	y, w, rwork, mat []float64
+	unbounded        bool
+}
+
+func newSparseSolver(p *Problem) *sparseSolver {
+	m := len(p.cons)
+	nStruct := len(p.vars)
+	nSlack := 0
+	for _, c := range p.cons {
+		if c.sense != EQ {
+			nSlack++
+		}
+	}
+	nReal := nStruct + nSlack
+	n := nReal + m
+	s := &sparseSolver{
+		p: p, m: m, nStruct: nStruct, nReal: nReal, n: n,
+		artRows:    make([]int32, m),
+		rowSlack:   make([]int, m),
+		rhs:        make([]float64, m),
+		phase1Cost: make([]float64, n),
+		phase2Cost: make([]float64, n),
+		lb:         make([]float64, n),
+		ub:         make([]float64, n),
+		lbX:        make([]float64, n),
+		ubX:        make([]float64, n),
+		costP:      make([]float64, n),
+		stat:       make([]varStatus, n),
+		basis:      make([]int, m),
+		artSign:    make([]float64, m),
+		binv:       make([]float64, m*m),
+		xB:         make([]float64, m),
+		y:          make([]float64, m),
+		w:          make([]float64, m),
+		rwork:      make([]float64, m),
+		mat:        make([]float64, m*m),
+	}
+	for i := range s.artRows {
+		s.artRows[i] = int32(i)
+		s.artSign[i] = 1
+		s.phase1Cost[nReal+i] = 1
+	}
+	sign := 1.0
+	if p.maximize {
+		sign = -1
+	}
+	for j, v := range p.vars {
+		s.phase2Cost[j] = sign * v.cost
+	}
+	// costP breaks dual ratio-test ties on the massively degenerate
+	// set-partitioning masters this solver mostly sees: exact duals leave
+	// whole tie classes at ratio zero, and a deterministic selection over
+	// exact ties makes no dual progress. The perturbed costs steer the
+	// entering choice only; every returned solution is re-polished against
+	// the exact objective.
+	for j := 0; j < n; j++ {
+		s.costP[j] = s.phase2Cost[j] + 1e-7*(1+math.Abs(s.phase2Cost[j]))*(0.5+noise(j))
+	}
+
+	// Build the CSC matrix: count entries per column, then fill. Constraint
+	// terms are pre-merged by AddConstraint, so rows within a column arrive
+	// in ascending order.
+	cnt := make([]int32, nReal)
+	slack := nStruct
+	for i, c := range p.cons {
+		for _, t := range c.terms {
+			cnt[t.Var]++
+		}
+		s.rowSlack[i] = -1
+		if c.sense != EQ {
+			cnt[slack]++
+			s.rowSlack[i] = slack
+			slack++
+		}
+		s.rhs[i] = c.rhs
+	}
+	colPtr := make([]int32, nReal+1)
+	for j := 0; j < nReal; j++ {
+		colPtr[j+1] = colPtr[j] + cnt[j]
+	}
+	rowIdx := make([]int32, colPtr[nReal])
+	val := make([]float64, colPtr[nReal])
+	next := make([]int32, nReal)
+	copy(next, colPtr[:nReal])
+	for i, c := range p.cons {
+		for _, t := range c.terms {
+			k := next[t.Var]
+			next[t.Var]++
+			rowIdx[k] = int32(i)
+			val[k] = t.Coef
+		}
+		if sl := s.rowSlack[i]; sl >= 0 {
+			k := next[sl]
+			next[sl]++
+			rowIdx[k] = int32(i)
+			if c.sense == LE {
+				val[k] = 1
+			} else {
+				val[k] = -1
+			}
+		}
+	}
+	s.A = cscMatrix{colPtr: colPtr, rowIdx: rowIdx, val: val}
+	return s
+}
+
+// col returns the sparse entries of column j (structural, slack, or
+// artificial).
+func (s *sparseSolver) col(j int) ([]int32, []float64) {
+	if j < s.nReal {
+		a, b := s.A.colPtr[j], s.A.colPtr[j+1]
+		return s.A.rowIdx[a:b], s.A.val[a:b]
+	}
+	r := j - s.nReal
+	return s.artRows[r : r+1], s.artSign[r : r+1]
+}
+
+// valOf is the value of a nonbasic column: the bound its status points at.
+func (s *sparseSolver) valOf(j int) float64 {
+	if s.stat[j] == atUB {
+		return s.ub[j]
+	}
+	return s.lb[j]
+}
+
+// factorize rebuilds the dense basis inverse from the current basis columns
+// by Gauss-Jordan elimination with partial pivoting.
+func (s *sparseSolver) factorize() error {
+	m := s.m
+	mat, binv := s.mat, s.binv
+	for i := range mat {
+		mat[i] = 0
+	}
+	for k, j := range s.basis {
+		rows, vals := s.col(j)
+		for t, r := range rows {
+			mat[int(r)*m+k] = vals[t]
+		}
+	}
+	for i := range binv {
+		binv[i] = 0
+	}
+	for i := 0; i < m; i++ {
+		binv[i*m+i] = 1
+	}
+	for c := 0; c < m; c++ {
+		pr, pv := -1, epsPivot
+		for i := c; i < m; i++ {
+			if a := math.Abs(mat[i*m+c]); a > pv {
+				pr, pv = i, a
+			}
+		}
+		if pr < 0 {
+			s.binvOK = false
+			return ErrSingularBasis
+		}
+		if pr != c {
+			swapRows(mat, m, pr, c)
+			swapRows(binv, m, pr, c)
+		}
+		inv := 1 / mat[c*m+c]
+		for k := c; k < m; k++ {
+			mat[c*m+k] *= inv
+		}
+		for k := 0; k < m; k++ {
+			binv[c*m+k] *= inv
+		}
+		for i := 0; i < m; i++ {
+			if i == c {
+				continue
+			}
+			f := mat[i*m+c]
+			if f == 0 {
+				continue
+			}
+			for k := c; k < m; k++ {
+				mat[i*m+k] -= f * mat[c*m+k]
+			}
+			for k := 0; k < m; k++ {
+				binv[i*m+k] -= f * binv[c*m+k]
+			}
+		}
+	}
+	s.binvOK = true
+	return nil
+}
+
+func swapRows(a []float64, m, i, j int) {
+	ri, rj := a[i*m:(i+1)*m], a[j*m:(j+1)*m]
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+// computeXB recomputes the basic values xB = B^-1 (rhs - N x_N).
+func (s *sparseSolver) computeXB() {
+	m := s.m
+	r := s.rwork
+	copy(r, s.rhs)
+	for j := 0; j < s.n; j++ {
+		if s.stat[j] == basic {
+			continue
+		}
+		v := s.valOf(j)
+		if v == 0 {
+			continue
+		}
+		rows, vals := s.col(j)
+		for t, ri := range rows {
+			r[ri] -= vals[t] * v
+		}
+	}
+	for i := 0; i < m; i++ {
+		row := s.binv[i*m : (i+1)*m]
+		sum := 0.0
+		for k, rv := range r {
+			if rv != 0 {
+				sum += row[k] * rv
+			}
+		}
+		s.xB[i] = sum
+	}
+}
+
+// computeY computes the simplex multipliers y = c_B^T B^-1.
+func (s *sparseSolver) computeY(cost []float64) {
+	m := s.m
+	y := s.y
+	for k := range y {
+		y[k] = 0
+	}
+	for i := 0; i < m; i++ {
+		cb := cost[s.basis[i]]
+		if cb == 0 {
+			continue
+		}
+		row := s.binv[i*m : (i+1)*m]
+		for k := range row {
+			y[k] += cb * row[k]
+		}
+	}
+}
+
+// reducedCost prices one column against the current multipliers.
+func (s *sparseSolver) reducedCost(cost []float64, j int) float64 {
+	rows, vals := s.col(j)
+	d := cost[j]
+	for t, r := range rows {
+		d -= s.y[r] * vals[t]
+	}
+	return d
+}
+
+// computeW computes the pivot column w = B^-1 A_j.
+func (s *sparseSolver) computeW(j int) {
+	m := s.m
+	rows, vals := s.col(j)
+	for i := 0; i < m; i++ {
+		row := s.binv[i*m : (i+1)*m]
+		sum := 0.0
+		for t, r := range rows {
+			sum += vals[t] * row[r]
+		}
+		s.w[i] = sum
+	}
+}
+
+// updateBinv applies the product-form update for a pivot on row r with the
+// current w: binv <- E * binv.
+func (s *sparseSolver) updateBinv(r int) {
+	m := s.m
+	prow := s.binv[r*m : (r+1)*m]
+	inv := 1 / s.w[r]
+	for k := range prow {
+		prow[k] *= inv
+	}
+	for i := 0; i < m; i++ {
+		if i == r {
+			continue
+		}
+		f := s.w[i]
+		if f == 0 {
+			continue
+		}
+		row := s.binv[i*m : (i+1)*m]
+		for k := range row {
+			row[k] -= f * prow[k]
+		}
+	}
+}
+
+// objectiveOf evaluates a cost vector at the current point.
+func (s *sparseSolver) objectiveOf(cost []float64) float64 {
+	obj := 0.0
+	for i := 0; i < s.m; i++ {
+		obj += cost[s.basis[i]] * s.xB[i]
+	}
+	for j := 0; j < s.n; j++ {
+		if s.stat[j] != basic && cost[j] != 0 {
+			obj += cost[j] * s.valOf(j)
+		}
+	}
+	return obj
+}
+
+// chooseEntering picks an improving nonbasic column. Returns -1 at
+// optimality for the given cost. Under Bland's rule the smallest improving
+// index wins, which — paired with the smallest-index leaving tie-break in
+// the ratio test — guarantees termination under degeneracy: unlike the
+// dense engine, whose incrementally updated reduced costs accumulate tie-
+// breaking noise, the revised simplex reprices exactly every iteration and
+// would otherwise cycle through exact degenerate ties deterministically.
+func (s *sparseSolver) chooseEntering(cost []float64, bland bool) int {
+	best, bestScore := -1, epsCost
+	for j := 0; j < s.n; j++ {
+		if s.stat[j] == basic || s.lb[j] == s.ub[j] {
+			continue
+		}
+		d := s.reducedCost(cost, j)
+		var score float64
+		if s.stat[j] == atLB {
+			score = -d
+		} else {
+			score = d
+		}
+		if score > bestScore {
+			if bland {
+				return j
+			}
+			best, bestScore = j, score
+		}
+	}
+	return best
+}
+
+// iterate runs primal simplex iterations to optimality for the given cost,
+// mirroring the dense engine's ratio test and anti-cycling switch.
+func (s *sparseSolver) iterate(cost []float64) error {
+	s.unbounded = false
+	maxIter := 2000 + 40*(s.m+s.n)
+	blandAfter := maxIter / 2
+	pivots := 0
+	for iter := 0; iter <= maxIter; iter++ {
+		bland := iter >= blandAfter
+		s.computeY(cost)
+		q := s.chooseEntering(cost, bland)
+		if q < 0 {
+			return nil
+		}
+		s.computeW(q)
+		sigma := 1.0
+		if s.stat[q] == atUB {
+			sigma = -1
+		}
+		// Harris two-pass ratio test. Pass 1 finds the exact minimum step
+		// and the tolerance-relaxed Harris bound; pass 2 picks, among rows
+		// blocking within the Harris bound, the largest pivot magnitude
+		// (numerical stability — tiny pivots amplify the whole basis), or
+		// the smallest basic index under Bland's rule (termination under
+		// degeneracy).
+		rowStep := func(i int) (t float64, toUB, ok bool) {
+			yv := s.w[i]
+			if math.Abs(yv) < epsPivot {
+				return 0, false, false
+			}
+			d := sigma * yv
+			bv := s.basis[i]
+			if d > 0 { // basic variable decreases toward its lower bound
+				t = (s.xB[i] - s.lb[bv]) / d
+			} else { // increases toward its upper bound
+				if math.IsInf(s.ub[bv], 1) {
+					return 0, false, false
+				}
+				t = (s.ub[bv] - s.xB[i]) / -d
+				toUB = true
+			}
+			if t < 0 {
+				t = 0
+			}
+			return t, toUB, true
+		}
+		tMin, tHarris := math.Inf(1), math.Inf(1)
+		for i := 0; i < s.m; i++ {
+			t, _, ok := rowStep(i)
+			if !ok {
+				continue
+			}
+			if t < tMin {
+				tMin = t
+			}
+			if rel := t + harrisPrimal/math.Abs(s.w[i]); rel < tHarris {
+				tHarris = rel
+			}
+		}
+		tBound := s.ub[q] - s.lb[q]
+		if tBound < tMin-epsRatio {
+			// Bound flip: the entering variable jumps to its other bound
+			// before any basic variable hits a bound.
+			if math.IsInf(tBound, 1) {
+				s.unbounded = true
+				return nil
+			}
+			for i := 0; i < s.m; i++ {
+				s.xB[i] -= sigma * tBound * s.w[i]
+			}
+			if s.stat[q] == atLB {
+				s.stat[q] = atUB
+			} else {
+				s.stat[q] = atLB
+			}
+			continue
+		}
+		if math.IsInf(tMin, 1) {
+			s.unbounded = true
+			return nil
+		}
+		leave := -1
+		leaveToUB := false
+		bestMag := 0.0
+		for i := 0; i < s.m; i++ {
+			t, toUB, ok := rowStep(i)
+			if !ok || t > tHarris {
+				continue
+			}
+			if bland {
+				if leave < 0 || s.basis[i] < s.basis[leave] {
+					leave, leaveToUB = i, toUB
+				}
+				continue
+			}
+			if mag := math.Abs(s.w[i]); mag > bestMag {
+				leave, leaveToUB, bestMag = i, toUB, mag
+			}
+		}
+		tMax, _, _ := rowStep(leave)
+		if tMax > tBound {
+			tMax = tBound
+		}
+
+		enterVal := s.valOf(q) + sigma*tMax
+		for i := 0; i < s.m; i++ {
+			if i != leave {
+				s.xB[i] -= sigma * tMax * s.w[i]
+			}
+		}
+		leaving := s.basis[leave]
+		if leaveToUB {
+			s.stat[leaving] = atUB
+		} else {
+			s.stat[leaving] = atLB
+		}
+		s.updateBinv(leave)
+		s.basis[leave] = q
+		s.stat[q] = basic
+		s.xB[leave] = enterVal
+		pivots++
+		if pivots%refactorEvery == 0 {
+			if err := s.factorize(); err != nil {
+				return err
+			}
+			s.computeXB()
+		}
+	}
+	if lpDebug {
+		fmt.Fprintf(os.Stderr, "lp debug: primal iterate hit limit, pivots=%d\n", pivots)
+	}
+	return fmt.Errorf("%w (m=%d n=%d sparse)", ErrIterationLimit, s.m, s.n)
+}
+
+// solveLP solves the LP relaxation under the given bound overrides,
+// warm-starting from a previous basis when one is supplied. It returns the
+// solution together with the optimal basis (nil unless Optimal) for
+// warm-starting children.
+func (s *sparseSolver) solveLP(lbOver, ubOver []float64, warm *basisState) (*Solution, *basisState, error) {
+	for j, v := range s.p.vars {
+		s.lbX[j], s.ubX[j] = v.lb, v.ub
+	}
+	if lbOver != nil {
+		copy(s.lbX, lbOver)
+	}
+	if ubOver != nil {
+		copy(s.ubX, ubOver)
+	}
+	for j := 0; j < s.nStruct; j++ {
+		if s.lbX[j] > s.ubX[j] {
+			return &Solution{Status: Infeasible}, nil, nil
+		}
+	}
+	for j := s.nStruct; j < s.nReal; j++ {
+		s.lbX[j], s.ubX[j] = 0, Inf
+	}
+	for j := s.nReal; j < s.n; j++ {
+		s.lbX[j], s.ubX[j] = 0, 0
+	}
+	copy(s.lb, s.lbX)
+	copy(s.ub, s.ubX)
+	if warm != nil {
+		sol, state, err := s.warmSolve(warm)
+		if err == nil {
+			return sol, state, nil
+		}
+		if lpDebug {
+			fmt.Fprintf(os.Stderr, "lp debug: warm solve failed: %v\n", err)
+		}
+		// Numerical trouble on the warm path (singular refactorization,
+		// stalled dual loop): fall back to a cold solve.
+	}
+	return s.coldSolve()
+}
+
+// coldSolve is the two-phase primal solve from a slack/artificial crash
+// basis, the sparse analogue of the dense engine's path.
+func (s *sparseSolver) coldSolve() (*Solution, *basisState, error) {
+	m := s.m
+	for j := 0; j < s.n; j++ {
+		s.stat[j] = atLB
+	}
+	// Anti-degeneracy perturbation: expand every finite real-column bound
+	// outward by a tiny deterministic column-specific amount. The masters
+	// this solver sees are massively degenerate (choose-one rows over
+	// zero-loaded channel rows), and exact repricing stalls for tens of
+	// thousands of zero-step pivots on exact ties; distinct perturbed
+	// bounds make ratio-test steps strictly positive. The expansion only
+	// relaxes the feasible set, so a feasible exact problem stays feasible;
+	// restoreAndPolish removes the perturbation before extraction.
+	for j := 0; j < s.nReal; j++ {
+		d := 1e-7 * (0.5 + noise(j))
+		s.lb[j] = s.lbX[j] - d*(1+math.Abs(s.lbX[j]))
+		if !math.IsInf(s.ubX[j], 1) {
+			s.ub[j] = s.ubX[j] + d*(1+math.Abs(s.ubX[j]))
+		}
+	}
+	// Artificials are free in [0, inf) until phase 1 ends.
+	for j := s.nReal; j < s.n; j++ {
+		s.lb[j], s.ub[j] = 0, Inf
+	}
+
+	// Residual r = rhs - A x_N over the nonbasic columns at their bounds.
+	r := s.rwork
+	copy(r, s.rhs)
+	for j := 0; j < s.nReal; j++ {
+		v := s.lb[j]
+		if v == 0 {
+			continue
+		}
+		rows, vals := s.col(j)
+		for t, ri := range rows {
+			r[ri] -= vals[t] * v
+		}
+	}
+
+	// Crash basis: slack-feasible rows take their slack; the rest get an
+	// artificial signed to keep its value nonnegative. The initial basis
+	// matrix is diagonal, so its inverse is written directly.
+	for i := range s.binv {
+		s.binv[i] = 0
+	}
+	needPhase1 := false
+	for i := 0; i < m; i++ {
+		sl := s.rowSlack[i]
+		leSlack := sl >= 0 && s.p.cons[i].sense == LE
+		geSlack := sl >= 0 && s.p.cons[i].sense == GE
+		switch {
+		case leSlack && r[i] >= 0:
+			s.basis[i] = sl
+			s.stat[sl] = basic
+			s.xB[i] = r[i]
+			s.binv[i*m+i] = 1
+			s.artSign[i] = 1
+		case geSlack && r[i] <= 0:
+			s.basis[i] = sl
+			s.stat[sl] = basic
+			s.xB[i] = -r[i]
+			s.binv[i*m+i] = -1
+			s.artSign[i] = 1
+		default:
+			sgn := 1.0
+			if r[i] < 0 {
+				sgn = -1
+			}
+			s.artSign[i] = sgn
+			art := s.nReal + i
+			s.basis[i] = art
+			s.stat[art] = basic
+			s.xB[i] = math.Abs(r[i])
+			s.binv[i*m+i] = sgn
+			needPhase1 = true
+		}
+	}
+	s.binvOK = true
+
+	if needPhase1 {
+		if err := s.iterate(s.phase1Cost); err != nil {
+			if lpDebug {
+				fmt.Fprintf(os.Stderr, "lp debug: cold phase1 failed\n")
+			}
+			return nil, nil, err
+		}
+		if s.unbounded {
+			return nil, nil, fmt.Errorf("lp: phase-1 reported unbounded (numerical failure)")
+		}
+		// Phase 1 runs on perturbed bounds and stops at a reduced-cost
+		// tolerance, so a feasible problem can terminate with a residual
+		// artificial sum of a few 1e-7 — well separated from genuine
+		// infeasibility, which shows up at the scale of the problem data.
+		// Marginal residues pass through: the exact-bounds restore repairs
+		// them or, failing that, proves the real infeasibility dually.
+		if obj := s.objectiveOf(s.phase1Cost); obj > phase1Tol {
+			if lpDebug {
+				fmt.Fprintf(os.Stderr, "lp debug: phase1 infeasible obj=%.6g\n", obj)
+			}
+			return &Solution{Status: Infeasible}, nil, nil
+		}
+	}
+	// Freeze artificials at zero; degenerate basic ones may remain.
+	for i := 0; i < m; i++ {
+		art := s.nReal + i
+		s.ub[art] = 0
+		if s.stat[art] != basic {
+			s.stat[art] = atLB
+		}
+	}
+	// Phase 2 on the perturbed bounds, then remove the perturbation.
+	if err := s.iterate(s.phase2Cost); err != nil {
+		if lpDebug {
+			fmt.Fprintf(os.Stderr, "lp debug: perturbed phase2 failed\n")
+		}
+		return nil, nil, err
+	}
+	if s.unbounded {
+		return &Solution{Status: Unbounded}, nil, nil
+	}
+	return s.restoreAndPolish()
+}
+
+// restoreAndPolish swaps the exact bounds back in after a perturbed solve,
+// repairs the tiny primal violations this introduces with dual pivots, and
+// re-polishes against the exact objective. A dual ray here means the exact
+// problem is infeasible even though its perturbed relaxation was not (the
+// perturbation only ever widens bounds).
+func (s *sparseSolver) restoreAndPolish() (*Solution, *basisState, error) {
+	copy(s.lb, s.lbX)
+	copy(s.ub, s.ubX)
+	s.computeXB()
+	infeasible, err := s.dualIterate()
+	if err != nil {
+		return nil, nil, err
+	}
+	if infeasible {
+		return &Solution{Status: Infeasible}, nil, nil
+	}
+	return s.finishPhase2()
+}
+
+// warmSolve restores a parent basis under the current (child) bounds and
+// repairs primal feasibility with dual simplex: the parent's optimal basis
+// stays dual feasible after a bound change, so typically only a handful of
+// pivots are needed.
+func (s *sparseSolver) warmSolve(warm *basisState) (*Solution, *basisState, error) {
+	if len(warm.basis) != s.m || len(warm.stat) != s.n || len(warm.artSign) != s.m {
+		return nil, nil, errors.New("lp: warm state shape mismatch")
+	}
+	reuse := s.binvOK && intsEqual(s.basis, warm.basis) && floatsEqual(s.artSign, warm.artSign)
+	copy(s.basis, warm.basis)
+	copy(s.stat, warm.stat)
+	copy(s.artSign, warm.artSign)
+	// A nonbasic status can only reference a finite bound.
+	for j := 0; j < s.n; j++ {
+		if s.stat[j] == atUB && math.IsInf(s.ub[j], 1) {
+			s.stat[j] = atLB
+		}
+	}
+	if !reuse {
+		if err := s.factorize(); err != nil {
+			return nil, nil, err
+		}
+	}
+	s.computeXB()
+	infeasible, err := s.dualIterate()
+	if err != nil {
+		return nil, nil, err
+	}
+	if infeasible {
+		return &Solution{Status: Infeasible}, nil, nil
+	}
+	return s.finishPhase2()
+}
+
+// dualIterate restores primal feasibility while preserving dual
+// feasibility: repeatedly drive the most bound-violating basic variable to
+// its violated bound, entering the column that keeps reduced costs signed.
+// Returns infeasible=true when a violated row admits no entering column (a
+// dual ray: the child LP is empty).
+func (s *sparseSolver) dualIterate() (infeasible bool, err error) {
+	m := s.m
+	// The repair either converges in a modest number of pivots or storms:
+	// on the min-max masters one pivot can spray a bound violation across
+	// every row coupled through U, after which the dual thrashes. A tight
+	// budget with a divergence bail-out keeps failed repairs cheap — the
+	// caller falls back to a cold solve — while successful ones stay fast.
+	maxIter := 4*m + 100
+	blandAfter := maxIter / 2
+	pivots := 0
+	initialTot := -1.0
+	for iter := 0; iter < maxIter; iter++ {
+		bland := iter >= blandAfter
+		// Leaving row: steepest-edge flavored — weigh each violation by the
+		// inverse norm of its binv row, preferring the repair that moves
+		// the basis least per unit of progress. Max plain violation storms
+		// on these masters: rows coupled through U have huge binv rows, and
+		// repairing them first sprays the violation everywhere. Under the
+		// anti-cycling switch the first violated row wins instead.
+		r, sigma, worst := -1, 0.0, 0.0
+		maxViol, total := 0.0, 0.0
+		for i := 0; i < m; i++ {
+			bv := s.basis[i]
+			d, sg := s.lb[bv]-s.xB[i], -1.0
+			if d2 := s.xB[i] - s.ub[bv]; d2 > d {
+				d, sg = d2, 1
+			}
+			if d <= epsFeas {
+				continue
+			}
+			total += d
+			if d > maxViol {
+				maxViol = d
+			}
+			if bland {
+				if r < 0 {
+					r, sigma = i, sg
+				}
+				continue
+			}
+			rho := s.binv[i*m : (i+1)*m]
+			norm2 := 0.0
+			for _, v := range rho {
+				norm2 += v * v
+			}
+			if score := d * d / norm2; score > worst {
+				r, sigma, worst = i, sg, score
+			}
+		}
+		if r < 0 {
+			return false, nil // primal feasible
+		}
+		if initialTot < 0 {
+			initialTot = total
+		} else if total > 100*initialTot+1 {
+			return false, fmt.Errorf("lp: dual repair diverging (violation %.3g from %.3g)", total, initialTot)
+		}
+		// Ratios are priced against the perturbed costs: exact duals put
+		// whole tie classes at ratio zero on degenerate masters, and a
+		// deterministic choice over exact ties cycles. Eligibility and the
+		// pivot algebra never involve the costs, and finishPhase2
+		// re-polishes against the exact objective afterwards.
+		s.computeY(s.costP)
+		rho := s.binv[r*m : (r+1)*m]
+		// Entering column: Harris two-pass dual ratio test. Pass 1 finds
+		// the tolerance-relaxed minimum ratio (each pivot may give away up
+		// to harrisDual of dual feasibility); pass 2 picks the largest
+		// |alpha| within the bound — small alphas are the failure mode, a
+		// 1e-7 pivot would turn a unit bound violation into a 1e7-scale
+		// basis swing — or the smallest index under Bland's rule.
+		type cand struct {
+			j     int
+			alpha float64
+			ratio float64
+		}
+		var cands []cand
+		tinyEligible := 0
+		phi := math.Inf(1)
+		for j := 0; j < s.nReal; j++ {
+			if s.stat[j] == basic || s.lb[j] == s.ub[j] {
+				continue
+			}
+			rows, vals := s.col(j)
+			alpha := 0.0
+			for t, ri := range rows {
+				alpha += rho[ri] * vals[t]
+			}
+			if s.stat[j] == atLB {
+				if sigma*alpha <= 0 {
+					continue
+				}
+			} else if sigma*alpha >= 0 {
+				continue
+			}
+			if math.Abs(alpha) < epsAlpha {
+				tinyEligible++ // right sign, but numerically unusable
+				continue
+			}
+			absA := math.Abs(alpha)
+			absD := math.Abs(s.reducedCost(s.costP, j))
+			cands = append(cands, cand{j, alpha, absD / absA})
+			if rel := (absD + harrisDual) / absA; rel < phi {
+				phi = rel
+			}
+		}
+		if len(cands) == 0 {
+			// No usable entering column. A residual violation within the
+			// overall feasibility tolerance (perturbation leftovers) is
+			// accepted; a sign-eligible column lost to the alpha threshold
+			// means numerical trouble, not proof — let the caller re-solve
+			// cold. Only a clean empty set is a genuine dual ray.
+			if maxViol <= 1e-6 {
+				return false, nil
+			}
+			if tinyEligible > 0 {
+				return false, fmt.Errorf("lp: dual entering candidates numerically unusable")
+			}
+			return true, nil
+		}
+		q, bestMag := -1, 0.0
+		for _, c := range cands {
+			if c.ratio > phi {
+				continue
+			}
+			if bland {
+				if q < 0 || c.j < q {
+					q = c.j
+				}
+				continue
+			}
+			if mag := math.Abs(c.alpha); mag > bestMag {
+				q, bestMag = c.j, mag
+			}
+		}
+		s.computeW(q)
+		alpha := s.w[r]
+		if math.Abs(alpha) < epsPivot {
+			return false, fmt.Errorf("lp: dual pivot too small")
+		}
+		bound := s.lb[s.basis[r]]
+		if sigma > 0 {
+			bound = s.ub[s.basis[r]]
+		}
+		delta := (s.xB[r] - bound) / alpha
+		for i := 0; i < m; i++ {
+			if i != r {
+				s.xB[i] -= s.w[i] * delta
+			}
+		}
+		leaving := s.basis[r]
+		if sigma > 0 {
+			s.stat[leaving] = atUB
+		} else {
+			s.stat[leaving] = atLB
+		}
+		enterVal := s.valOf(q) + delta
+		s.updateBinv(r)
+		s.basis[r] = q
+		s.stat[q] = basic
+		s.xB[r] = enterVal
+		pivots++
+		if pivots%refactorEvery == 0 {
+			if err := s.factorize(); err != nil {
+				return false, err
+			}
+			s.computeXB()
+		}
+	}
+	return false, fmt.Errorf("lp: dual simplex iteration limit (m=%d n=%d)", s.m, s.n)
+}
+
+// finishPhase2 runs the real objective to optimality and extracts the
+// solution plus a basis snapshot for warm-starting children.
+func (s *sparseSolver) finishPhase2() (*Solution, *basisState, error) {
+	if err := s.iterate(s.phase2Cost); err != nil {
+		if lpDebug {
+			fmt.Fprintf(os.Stderr, "lp debug: phase2 failed\n")
+		}
+		return nil, nil, err
+	}
+	if s.unbounded {
+		return &Solution{Status: Unbounded}, nil, nil
+	}
+	x := make([]float64, s.nStruct)
+	for j := 0; j < s.nStruct; j++ {
+		if s.stat[j] != basic {
+			x[j] = s.valOf(j)
+		}
+	}
+	for i := 0; i < s.m; i++ {
+		if s.basis[i] < s.nStruct {
+			x[s.basis[i]] = s.xB[i]
+		}
+	}
+	obj := 0.0
+	for j, v := range s.p.vars {
+		obj += v.cost * x[j]
+	}
+	state := &basisState{
+		basis:   append([]int(nil), s.basis...),
+		stat:    append([]varStatus(nil), s.stat...),
+		artSign: append([]float64(nil), s.artSign...),
+	}
+	return &Solution{Status: Optimal, Objective: obj, X: x}, state, nil
+}
+
+// noise is a deterministic pseudo-random value in (0, 1) per column index
+// (golden-ratio hashing), used to scale the anti-degeneracy perturbations.
+func noise(j int) float64 {
+	const phi = 0.618033988749895
+	f := float64(j+1) * phi
+	return f - math.Floor(f)
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func floatsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

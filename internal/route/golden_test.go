@@ -1,0 +1,162 @@
+package route
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/cdg"
+	"repro/internal/flowgraph"
+	"repro/internal/topology"
+)
+
+// Golden determinism tests for route synthesis, mirroring
+// internal/sim/golden_test.go: the full synthesis output (every route's
+// channel/VC sequence plus the max channel load) must be byte-identical
+// across candidate-enumeration worker counts (1/4/8) and across repeated
+// runs for a fixed seed. Any change that perturbs the candidate merge
+// order, the LP constraint order, or a solver tie-break fails loudly and
+// must consciously regenerate the table (run with ROUTE_GOLDEN_PRINT=1).
+
+// serializeSet renders a route set into a canonical string.
+func serializeSet(set *Set) string {
+	var b strings.Builder
+	mcl, ch := set.MCL()
+	fmt.Fprintf(&b, "mcl=%.9g@%d\n", mcl, ch)
+	for i, r := range set.Routes {
+		fmt.Fprintf(&b, "%d:", i)
+		for k, c := range r.Channels {
+			fmt.Fprintf(&b, " %d/%d", c, r.VCs[k])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func setDigest(set *Set) string {
+	h := fnv.New64a()
+	h.Write([]byte(serializeSet(set)))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// goldenGraph is the fixed synthesis instance: 6x6 transpose on the
+// negative-first CDG with 2 VCs.
+func goldenGraph(t *testing.T) *flowgraph.Graph {
+	t.Helper()
+	m := topology.NewMesh(6, 6)
+	flows := transposeFlows(m, 25)
+	rule := cdg.NegativeFirstRule(topology.West, topology.North)
+	dag := cdg.TurnBreaker{Rule: rule}.Break(cdg.NewFull(m, 2))
+	return flowgraph.New(dag, flows, 100)
+}
+
+type goldenSelector struct {
+	name   string
+	sel    func(workers int) Selector
+	digest string
+	mcl    float64
+}
+
+func goldenSelectors() []goldenSelector {
+	return []goldenSelector{
+		{
+			name: "milp",
+			sel: func(workers int) Selector {
+				return MILPSelector{HopSlack: 2, MaxPathsPerFlow: 8, Refinements: 1,
+					MaxNodes: 40, Gap: 0.01, Seed: 1, Workers: workers}
+			},
+			digest: "37ab015ea6e5193a",
+			mcl:    50,
+		},
+		{
+			name: "heuristic",
+			sel: func(workers int) Selector {
+				return BSORHeuristic{HopSlack: 2, MaxPathsPerFlow: 16, Workers: workers}
+			},
+			digest: "32105d4743db4013",
+			mcl:    75,
+		},
+		{
+			name: "dijkstra",
+			sel: func(workers int) Selector {
+				return DijkstraSelector{}
+			},
+			digest: "37ab015ea6e5193a",
+			mcl:    50,
+		},
+	}
+}
+
+func TestGoldenSynthesisDeterminism(t *testing.T) {
+	print := os.Getenv("ROUTE_GOLDEN_PRINT") != ""
+	g := goldenGraph(t)
+	for _, gc := range goldenSelectors() {
+		gc := gc
+		t.Run(gc.name, func(t *testing.T) {
+			var first string
+			var firstSet *Set
+			// Workers 1, 4, 8 plus a repeated run at the default worker
+			// count: all must serialize byte-identically.
+			for _, workers := range []int{1, 4, 8, 0, 0} {
+				set, err := gc.sel(workers).Select(g)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				s := serializeSet(set)
+				if first == "" {
+					first, firstSet = s, set
+					continue
+				}
+				if s != first {
+					t.Fatalf("workers=%d synthesis output differs from workers=1", workers)
+				}
+			}
+			digest := setDigest(firstSet)
+			mcl, _ := firstSet.MCL()
+			if print {
+				fmt.Printf("%s: digest: %q, mcl: %v\n", gc.name, digest, mcl)
+				return
+			}
+			if digest != gc.digest {
+				t.Errorf("digest %s, golden %s (ROUTE_GOLDEN_PRINT=1 to regenerate)", digest, gc.digest)
+			}
+			if mcl != gc.mcl {
+				t.Errorf("MCL %v, golden %v", mcl, gc.mcl)
+			}
+		})
+	}
+}
+
+// TestGoldenEnumerationDeterminism pins the parallel candidate enumeration
+// directly: per-flow path lists are identical for any worker count.
+func TestGoldenEnumerationDeterminism(t *testing.T) {
+	g := goldenGraph(t)
+	budgets := make([]int, len(g.Flows()))
+	for i := range budgets {
+		budgets[i] = 14
+	}
+	base := g.EnumerateAll(budgets, 12, 1)
+	for _, workers := range []int{2, 4, 8} {
+		got := g.EnumerateAll(budgets, 12, workers)
+		if len(got) != len(base) {
+			t.Fatalf("workers=%d: %d flows, want %d", workers, len(got), len(base))
+		}
+		for i := range base {
+			if len(got[i]) != len(base[i]) {
+				t.Fatalf("workers=%d flow %d: %d paths, want %d", workers, i, len(got[i]), len(base[i]))
+			}
+			for k := range base[i] {
+				if len(got[i][k]) != len(base[i][k]) {
+					t.Fatalf("workers=%d flow %d path %d: length differs", workers, i, k)
+				}
+				for x := range base[i][k] {
+					if got[i][k][x] != base[i][k][x] {
+						t.Fatalf("workers=%d flow %d path %d: vertex %d differs", workers, i, k, x)
+					}
+				}
+			}
+		}
+	}
+}

@@ -3,6 +3,7 @@ package route
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"repro/internal/cdg"
 	"repro/internal/flowgraph"
@@ -50,6 +51,13 @@ type MILPSelector struct {
 	Gap float64
 	// Seed drives weight perturbation during refinement path generation.
 	Seed int64
+	// Workers sizes the candidate-enumeration worker pool; zero means
+	// GOMAXPROCS. The merge order is deterministic for any value.
+	Workers int
+	// DenseLP solves the restricted masters with the retained dense-tableau
+	// simplex instead of the sparse warm-started engine. Benchmarking and
+	// cross-validation only.
+	DenseLP bool
 }
 
 // Name implements Selector.
@@ -65,13 +73,41 @@ func (ms MILPSelector) withDefaults() MILPSelector {
 	return ms
 }
 
-// pathKey uniquely identifies a candidate path for deduplication.
-func pathKey(p flowgraph.Path) string {
+// chanKey identifies a candidate path by its physical channel sequence.
+// Two paths differing only in VC labels induce identical channel-load rows
+// in the restricted master, so one canonical candidate per sequence keeps
+// the MILP small without excluding any achievable load vector.
+func chanKey(g *flowgraph.Graph, p flowgraph.Path) string {
 	b := make([]byte, 0, 4*len(p))
-	for _, v := range p {
-		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	for _, ch := range g.Channels(p) {
+		b = append(b, byte(ch), byte(ch>>8), byte(ch>>16), byte(ch>>24))
 	}
 	return string(b)
+}
+
+// hopBudgets computes each flow's hop budget: minimal distance plus slack
+// (with per-flow overrides), shared by the MILP and heuristic selectors.
+func hopBudgets(g *flowgraph.Graph, slack int, overrides map[int]int) ([]int, error) {
+	flows := g.Flows()
+	budgets := make([]int, len(flows))
+	for i, f := range flows {
+		min := minimalHops(g.Topology(), f.Src, f.Dst)
+		if min < 0 {
+			return nil, fmt.Errorf("route: flow %s endpoints are disconnected", f.Name)
+		}
+		budgets[i] = min + slack
+		if ov, ok := overrides[i]; ok {
+			budgets[i] = min + ov
+		}
+	}
+	return budgets, nil
+}
+
+// noPathError reports an empty candidate set for flow i.
+func noPathError(g *flowgraph.Graph, i, budget int) error {
+	f := g.Flows()[i]
+	return fmt.Errorf("route: flow %s (%s -> %s) has no path within %d hops in this acyclic CDG",
+		f.Name, g.Topology().NodeName(f.Src), g.Topology().NodeName(f.Dst), budget)
 }
 
 // Select implements Selector.
@@ -82,26 +118,19 @@ func (ms MILPSelector) Select(g *flowgraph.Graph) (*Set, error) {
 		return &Set{Topo: g.Topology()}, nil
 	}
 
-	budgets := make([]int, len(flows))
-	candidates := make([][]flowgraph.Path, len(flows))
+	budgets, err := hopBudgets(g, ms.HopSlack, ms.HopSlackOverride)
+	if err != nil {
+		return nil, err
+	}
+	candidates := g.EnumerateAll(budgets, ms.MaxPathsPerFlow, ms.Workers)
 	seen := make([]map[string]bool, len(flows))
-	for i, f := range flows {
-		min := minimalHops(g.Topology(), f.Src, f.Dst)
-		if min < 0 {
-			return nil, fmt.Errorf("route: flow %s endpoints are disconnected", f.Name)
-		}
-		budgets[i] = min + ms.HopSlack
-		if ov, ok := ms.HopSlackOverride[i]; ok {
-			budgets[i] = min + ov
-		}
-		candidates[i] = g.EnumeratePaths(i, budgets[i], ms.MaxPathsPerFlow)
+	for i := range flows {
 		seen[i] = make(map[string]bool, len(candidates[i]))
 		for _, p := range candidates[i] {
-			seen[i][pathKey(p)] = true
+			seen[i][chanKey(g, p)] = true
 		}
 		if len(candidates[i]) == 0 {
-			return nil, fmt.Errorf("route: flow %s (%s -> %s) has no path within %d hops in this acyclic CDG",
-				f.Name, g.Topology().NodeName(f.Src), g.Topology().NodeName(f.Dst), budgets[i])
+			return nil, noPathError(g, i, budgets[i])
 		}
 	}
 
@@ -134,7 +163,7 @@ func (ms MILPSelector) Select(g *flowgraph.Graph) (*Set, error) {
 			for k, ch := range r.Channels {
 				p[k] = g.CDG().Vertex(ch, r.VCs[k])
 			}
-			if k := pathKey(p); !seen[i][k] {
+			if k := chanKey(g, p); !seen[i][k] {
 				seen[i][k] = true
 				candidates[i] = append(candidates[i], p)
 			}
@@ -182,9 +211,26 @@ func (ms MILPSelector) solveRestricted(g *flowgraph.Graph,
 
 	flows := g.Flows()
 	p := lp.NewProblem()
-	u := p.AddVar("U", 0, lp.Inf, 1)
+	// Flows are unsplittable, so every flow's full demand crosses its first
+	// channel and the MCL can never undercut the largest demand. That lower
+	// bound on U lets the master drop every channel row only one flow's
+	// candidates can touch (its load is at most that flow's demand), which
+	// shrinks the LP basis — the per-iteration cost of the revised simplex
+	// is quadratic in the row count. The baseline mode keeps the seed
+	// formulation for benchmarking.
+	uLB := 0.0
+	if !ms.DenseLP {
+		for _, f := range flows {
+			if f.Demand > uLB {
+				uLB = f.Demand
+			}
+		}
+	}
+	u := p.AddVar("U", uLB, lp.Inf, 1)
 
-	// Map incumbent routes to candidate keys for the warm start.
+	// Map incumbent routes to candidate keys for the warm start. Keys are
+	// channel signatures, so an incumbent matches a retained candidate even
+	// when their VC labels differ (the loads, and hence the MCL, agree).
 	incumbentKey := make([]string, len(flows))
 	if incumbent != nil {
 		for i, r := range incumbent.Routes {
@@ -192,7 +238,7 @@ func (ms MILPSelector) solveRestricted(g *flowgraph.Graph,
 			for k, ch := range r.Channels {
 				pth[k] = g.CDG().Vertex(ch, r.VCs[k])
 			}
-			incumbentKey[i] = pathKey(pth)
+			incumbentKey[i] = chanKey(g, pth)
 		}
 	}
 
@@ -201,12 +247,14 @@ func (ms MILPSelector) solveRestricted(g *flowgraph.Graph,
 	warm := []float64{0}          // index 0 is U, patched below
 	warmOK := make([]bool, len(flows))
 	chTerms := make(map[topology.ChannelID][]lp.Term)
+	chFlows := make(map[topology.ChannelID]int) // last flow whose candidates touched ch
+	chShared := make(map[topology.ChannelID]bool)
 	for i := range flows {
 		choose := make([]lp.Term, 0, len(candidates[i]))
 		for pi, path := range candidates[i] {
 			v := p.AddBinary(fmt.Sprintf("x[%s,%d]", flows[i].Name, pi), 0)
 			vars[v] = pathVar{i, pi}
-			if incumbent != nil && pathKey(path) == incumbentKey[i] && !warmOK[i] {
+			if incumbent != nil && chanKey(g, path) == incumbentKey[i] && !warmOK[i] {
 				warm = append(warm, 1)
 				warmOK[i] = true
 			} else {
@@ -220,18 +268,39 @@ func (ms MILPSelector) solveRestricted(g *flowgraph.Graph,
 			for _, ch := range g.Channels(path) {
 				if !touched[ch] {
 					touched[ch] = true
+					if last, ok := chFlows[ch]; ok && last != i {
+						chShared[ch] = true
+					}
+					chFlows[ch] = i
 					chTerms[ch] = append(chTerms[ch], lp.Term{Var: v, Coef: flows[i].Demand})
 				}
 			}
 		}
 		p.AddConstraint(choose, lp.EQ, 1)
 	}
-	for _, terms := range chTerms {
-		row := append(append([]lp.Term(nil), terms...), lp.Term{Var: u, Coef: -1})
+	// Channel rows in ascending channel order: map iteration order would
+	// randomize the constraint order and, with it, which of several
+	// equally-optimal vertices the solver lands on — the golden
+	// determinism tests pin byte-identical synthesis output.
+	channels := make([]topology.ChannelID, 0, len(chTerms))
+	for ch := range chTerms {
+		channels = append(channels, ch)
+	}
+	sort.Slice(channels, func(a, b int) bool { return channels[a] < channels[b] })
+	for _, ch := range channels {
+		// With U bounded below by the largest demand, a channel only one
+		// flow's candidates can touch never exceeds U; its row is redundant.
+		if uLB > 0 && !chShared[ch] {
+			continue
+		}
+		row := append(append([]lp.Term(nil), chTerms[ch]...), lp.Term{Var: u, Coef: -1})
 		p.AddConstraint(row, lp.LE, 0)
 	}
 
 	opts := lp.MILPOptions{MaxNodes: ms.MaxNodes, Gap: ms.Gap}
+	if ms.DenseLP {
+		opts.Engine = lp.EngineDense
+	}
 	if incumbent != nil {
 		allWarm := true
 		for _, ok := range warmOK {
@@ -326,7 +395,7 @@ func (ms MILPSelector) refine(g *flowgraph.Graph, candidates [][]flowgraph.Path,
 			if len(p) > budgets[i] {
 				continue
 			}
-			k := pathKey(p)
+			k := chanKey(g, p)
 			if !seen[i][k] {
 				seen[i][k] = true
 				candidates[i] = append(candidates[i], p)

@@ -2,6 +2,7 @@ package route
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/cdg"
 	"repro/internal/flowgraph"
@@ -184,11 +185,19 @@ func EdgeMILP(g *flowgraph.Graph, hopSlack int, obj Objective, opts lp.MILPOptio
 		}
 	}
 
+	// Ascending channel order keeps the problem — and therefore the chosen
+	// optimal vertex — deterministic; map order would randomize both.
+	loadChans := make([]topology.ChannelID, 0, len(loadTerms))
+	for ch := range loadTerms {
+		loadChans = append(loadChans, ch)
+	}
+	sort.Slice(loadChans, func(a, b int) bool { return loadChans[a] < loadChans[b] })
+
 	switch obj {
 	case MinMCL:
 		u := p.AddVar("U", 0, lp.Inf, 1)
-		for _, terms := range loadTerms {
-			row := append(append([]lp.Term(nil), terms...), lp.Term{Var: u, Coef: -1})
+		for _, ch := range loadChans {
+			row := append(append([]lp.Term(nil), loadTerms[ch]...), lp.Term{Var: u, Coef: -1})
 			p.AddConstraint(row, lp.LE, 0)
 		}
 	case MaxThroughput:
@@ -196,8 +205,8 @@ func EdgeMILP(g *flowgraph.Graph, hopSlack int, obj Objective, opts lp.MILPOptio
 		for i := range flows {
 			p.SetCost(gVar[i], 1)
 		}
-		for ch, terms := range loadTerms {
-			p.AddConstraint(terms, lp.LE, g.Capacity(ch))
+		for _, ch := range loadChans {
+			p.AddConstraint(loadTerms[ch], lp.LE, g.Capacity(ch))
 		}
 	case MaxMinFraction:
 		p.SetMaximize(true)
@@ -208,8 +217,8 @@ func EdgeMILP(g *flowgraph.Graph, hopSlack int, obj Objective, opts lp.MILPOptio
 				{Var: t, Coef: -f.Demand},
 			}, lp.GE, 0)
 		}
-		for ch, terms := range loadTerms {
-			p.AddConstraint(terms, lp.LE, g.Capacity(ch))
+		for _, ch := range loadChans {
+			p.AddConstraint(loadTerms[ch], lp.LE, g.Capacity(ch))
 		}
 	}
 
