@@ -29,7 +29,11 @@ import (
 
 func transposeWorkload() (*topology.Mesh, []flowgraph.Flow) {
 	m := topology.NewMesh(8, 8)
-	return m, traffic.Transpose(m, traffic.DefaultSyntheticDemand)
+	flows, err := traffic.Transpose(m, traffic.DefaultSyntheticDemand)
+	if err != nil {
+		panic(err)
+	}
+	return m, flows
 }
 
 // BenchmarkAblationStaticVsDynamicVC simulates the same BSOR route set

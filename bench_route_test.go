@@ -57,7 +57,10 @@ func datelineBreakers(b *testing.B) []cdg.Breaker {
 }
 
 func benchSynthesis(b *testing.B, g topology.Grid, sel route.Selector, breakers []cdg.Breaker) {
-	flows := traffic.Transpose(g, traffic.DefaultSyntheticDemand)
+	flows, err := traffic.Transpose(g, traffic.DefaultSyntheticDemand)
+	if err != nil {
+		b.Fatal(err)
+	}
 	cfg := core.Config{VCs: 2, Selector: sel, Breakers: breakers}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

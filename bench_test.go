@@ -217,7 +217,11 @@ func BenchmarkSimCycles(b *testing.B) {
 	} {
 		b.Run(tc.name, func(b *testing.B) {
 			m := topology.NewMesh(tc.w, tc.h)
-			set, err := route.XY{}.Routes(m, traffic.Transpose(m, 10))
+			flows, err := traffic.Transpose(m, 10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			set, err := route.XY{}.Routes(m, flows)
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -99,11 +99,11 @@ func main() {
 func workloadFlows(m *topology.Mesh, name string, demand float64) ([]flowgraph.Flow, error) {
 	switch name {
 	case "transpose":
-		return traffic.Transpose(m, demand), nil
+		return traffic.Transpose(m, demand)
 	case "bit-complement":
-		return traffic.BitComplement(m, demand), nil
+		return traffic.BitComplement(m, demand)
 	case "shuffle":
-		return traffic.Shuffle(m, demand), nil
+		return traffic.Shuffle(m, demand)
 	case "h264":
 		return traffic.H264Decoder(m).Flows, nil
 	case "perf-modeling":

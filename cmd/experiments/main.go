@@ -241,6 +241,33 @@ func registry() []experiment {
 			experiments.SynthScaleAlgorithms(), experiments.DatelineBreakerNames(), *vcs),
 		print: printAlgoRows,
 	})
+	// Fault-tolerance scenario: an 8x8 mesh and torus degrade link by link
+	// (one seeded fault set per count), and the graph-generic algorithms
+	// are swept across offered rates on each degraded fabric — "does BSOR
+	// stay deadlock-free and load-balanced when the fabric degrades?"
+	faultCounts := []int{0, 4, 8, 12, 16}
+	var faultJobs []experiments.Job
+	for _, base := range []experiments.TopoSpec{mesh(), torus()} {
+		faultJobs = append(faultJobs, experiments.FaultSweepJobs("fault-sweep", base, 1,
+			faultCounts, experiments.FaultSweepAlgorithms(), "transpose",
+			[]float64{10, 30, 50}, p)...)
+	}
+	add(experiment{
+		name:  "fault-sweep",
+		title: "Fault sweep (8x8 mesh and torus: throughput vs failed links, SP vs BSOR_Dijkstra)",
+		jobs:  faultJobs,
+		print: printFaultSweep,
+	})
+	// CI smoke variant: a small mesh and few fault counts, cheap enough for
+	// every pull request under -fast.
+	add(experiment{
+		name:  "fault-sweep-smoke",
+		title: "Fault sweep smoke (4x4 mesh: throughput vs failed links)",
+		jobs: experiments.FaultSweepJobs("fault-sweep-smoke", experiments.MeshSpec(4, 4), 1,
+			[]int{0, 2, 4}, experiments.FaultSweepAlgorithms(), "transpose",
+			[]float64{2, 6}, p),
+		print: printFaultSweep,
+	})
 	return exps
 }
 
@@ -436,6 +463,15 @@ func printAlgoRows(results []experiments.Result) {
 func printSweep(results []experiments.Result) {
 	for _, g := range experiments.GroupResults(results, experiments.ByWorkload) {
 		fmt.Printf("%s:\n", g.Key)
+		printSeries(experiments.SeriesFrom(g.Results))
+	}
+}
+
+// printFaultSweep prints one series block per degraded topology instance,
+// in fault-count order (the job order groups by topology label).
+func printFaultSweep(results []experiments.Result) {
+	for _, g := range experiments.GroupResults(results, experiments.ByTopo) {
+		fmt.Printf("%s (%d failed links):\n", g.Key, g.Results[0].Job.Topo.Faults)
 		printSeries(experiments.SeriesFrom(g.Results))
 	}
 }

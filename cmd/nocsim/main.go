@@ -98,11 +98,11 @@ func algorithm(name string, vcs int) (route.Algorithm, bool, error) {
 func workloadFlows(m *topology.Mesh, name string) ([]flowgraph.Flow, error) {
 	switch name {
 	case "transpose":
-		return traffic.Transpose(m, traffic.DefaultSyntheticDemand), nil
+		return traffic.Transpose(m, traffic.DefaultSyntheticDemand)
 	case "bit-complement":
-		return traffic.BitComplement(m, traffic.DefaultSyntheticDemand), nil
+		return traffic.BitComplement(m, traffic.DefaultSyntheticDemand)
 	case "shuffle":
-		return traffic.Shuffle(m, traffic.DefaultSyntheticDemand), nil
+		return traffic.Shuffle(m, traffic.DefaultSyntheticDemand)
 	case "h264":
 		return traffic.H264Decoder(m).Flows, nil
 	case "perf-modeling":

@@ -1,9 +1,11 @@
 // Package repro is a Go reproduction of "Application-Aware Deadlock-Free
 // Oblivious Routing" (Michel A. Kinsy, MIT, 2009): the BSOR framework for
 // bandwidth-sensitive oblivious routing in networks-on-chip, together with
-// every substrate its evaluation depends on — channel dependence graphs
-// and turn-model cycle breaking, an LP/MILP solver, Dijkstra- and
-// MILP-based route selectors, the classic oblivious baselines, the
+// every substrate its evaluation depends on — topologies from grids to
+// arbitrary directed graphs (rings, full meshes, folded-Clos fabrics,
+// fault-degraded grids), channel dependence graphs with turn-model and
+// graph-generic up*/down* cycle breaking, an LP/MILP solver, Dijkstra-
+// and MILP-based route selectors, the classic oblivious baselines, the
 // evaluation workloads, and a cycle-accurate wormhole virtual-channel
 // network simulator.
 //

@@ -19,7 +19,10 @@ import (
 
 func main() {
 	m := topology.NewMesh(8, 8)
-	flows := traffic.Transpose(m, traffic.DefaultSyntheticDemand)
+	flows, err := traffic.Transpose(m, traffic.DefaultSyntheticDemand)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Println("transpose, BSOR-Dijkstra routes, offered rate 30 pkt/cycle:")
 	for _, vcs := range []int{1, 2, 4, 8} {

@@ -1,0 +1,156 @@
+package cdg
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func upDownTopologies(t *testing.T) map[string]topology.Topology {
+	t.Helper()
+	faulted, err := topology.Faulted(topology.NewMesh(8, 8), 1, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultedTorus, err := topology.Faulted(topology.NewTorus(6, 6), 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]topology.Topology{
+		"mesh4x4":        topology.NewMesh(4, 4),
+		"torus4x4":       topology.NewTorus(4, 4),
+		"ring8":          topology.NewRing(8),
+		"fullmesh6":      topology.NewFullMesh(6),
+		"clos3x6":        topology.NewFoldedClos(3, 6),
+		"faulted8x8":     faulted,
+		"faulted-torus6": faultedTorus,
+	}
+}
+
+// TestUpDownAcyclicEverywhere: both graph-generic breakers must produce an
+// acyclic CDG on every topology family, for several roots and VC counts —
+// including the torus, where no turn model alone suffices.
+func TestUpDownAcyclicEverywhere(t *testing.T) {
+	for name, topo := range upDownTopologies(t) {
+		for _, vcs := range []int{1, 2, 4} {
+			full := NewFull(topo, vcs)
+			for _, root := range []topology.NodeID{0, topology.NodeID(topo.NumNodes() / 2)} {
+				for _, b := range []Breaker{UpDownBreaker{Root: root}, UpDownEscapeBreaker{Root: root}} {
+					dag := b.Break(full)
+					if !dag.IsAcyclic() {
+						t.Errorf("%s vcs=%d %s: cyclic CDG", name, vcs, b.Name())
+					}
+					if dag.NumEdges() == 0 && full.NumEdges() > 0 {
+						t.Errorf("%s vcs=%d %s: breaker removed every edge", name, vcs, b.Name())
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestUpDownEscapeLayering pins the escape breaker's structure relative to
+// plain up*/down*: every non-VC-descending edge the plain scheme keeps
+// survives the layering, and ascending to a higher VC unlocks down->up
+// transitions the plain scheme forbids.
+func TestUpDownEscapeLayering(t *testing.T) {
+	topo := topology.NewRing(8)
+	full := NewFull(topo, 2)
+	plain := UpDownBreaker{Root: 0}.Break(full)
+	escape := UpDownEscapeBreaker{Root: 0}.Break(full)
+	for u := 0; u < plain.NumVertices(); u++ {
+		for _, v := range plain.Out(VertexID(u)) {
+			_, vcu := plain.ChannelVC(VertexID(u))
+			_, vcv := plain.ChannelVC(v)
+			if vcv < vcu {
+				continue // the layering forbids VC descent by design
+			}
+			if !escape.HasEdge(VertexID(u), v) {
+				t.Fatalf("non-descending edge %d->%d in up*/down* but not in escape layering", u, v)
+			}
+		}
+	}
+	unlocked := 0
+	for u := 0; u < escape.NumVertices(); u++ {
+		for _, v := range escape.Out(VertexID(u)) {
+			if !plain.HasEdge(VertexID(u), v) {
+				unlocked++
+			}
+		}
+	}
+	if unlocked == 0 {
+		t.Error("escape layering unlocked no down->up transitions")
+	}
+}
+
+// TestUpDownRoutableOnBidirectionalFamilies: under up*/down* every ordered
+// node pair retains a conforming path (climb to the common ancestor, then
+// descend), on every family whose links are bidirectional.
+func TestUpDownRoutableOnBidirectionalFamilies(t *testing.T) {
+	for name, topo := range upDownTopologies(t) {
+		full := NewFull(topo, 2)
+		dag := UpDownBreaker{Root: 0}.Break(full)
+		// Reachability over the broken CDG from src to dst: start on any
+		// vertex of a channel leaving src, walk dependence edges, succeed on
+		// reaching a vertex of a channel entering dst.
+		reach := func(src, dst topology.NodeID) bool {
+			seen := make([]bool, dag.NumVertices())
+			var stack []VertexID
+			for _, ch := range topo.OutChannels(src) {
+				for vc := 0; vc < dag.VCs(); vc++ {
+					v := dag.Vertex(ch, vc)
+					stack = append(stack, v)
+					seen[v] = true
+				}
+			}
+			for len(stack) > 0 {
+				v := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				ch, _ := dag.ChannelVC(v)
+				if topo.Channel(ch).Dst == dst {
+					return true
+				}
+				for _, w := range dag.Out(v) {
+					if !seen[w] {
+						seen[w] = true
+						stack = append(stack, w)
+					}
+				}
+			}
+			return false
+		}
+		n := topo.NumNodes()
+		for src := topology.NodeID(0); src < topology.NodeID(n); src++ {
+			for dst := topology.NodeID(0); dst < topology.NodeID(n); dst++ {
+				if src == dst {
+					continue
+				}
+				if !reach(src, dst) {
+					t.Fatalf("%s: %s -> %s unroutable under up*/down*",
+						name, topo.NodeName(src), topo.NodeName(dst))
+				}
+			}
+		}
+	}
+}
+
+func TestGraphBreakersRootsSpread(t *testing.T) {
+	bs := GraphBreakers(64)
+	if len(bs) != 6 {
+		t.Fatalf("%d breakers, want 6", len(bs))
+	}
+	names := map[string]bool{}
+	for _, b := range bs {
+		names[b.Name()] = true
+	}
+	for _, want := range []string{"updown@0", "updown@32", "updown@63",
+		"updown-escape@0", "updown-escape@32", "updown-escape@63"} {
+		if !names[want] {
+			t.Errorf("missing %q in %v", want, names)
+		}
+	}
+	// Tiny networks deduplicate the roots.
+	if got := len(GraphBreakers(1)); got != 2 {
+		t.Errorf("GraphBreakers(1): %d breakers, want 2", got)
+	}
+}

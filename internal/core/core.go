@@ -162,7 +162,7 @@ func (b BSOR) Name() string {
 }
 
 // Routes implements route.Algorithm.
-func (b BSOR) Routes(g topology.Grid, flows []flowgraph.Flow) (*route.Set, error) {
-	set, _, err := Best(g, flows, b.Config)
+func (b BSOR) Routes(t topology.Topology, flows []flowgraph.Flow) (*route.Set, error) {
+	set, _, err := Best(t, flows, b.Config)
 	return set, err
 }

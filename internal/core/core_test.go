@@ -13,7 +13,10 @@ import (
 
 func TestExploreCoversAllBreakers(t *testing.T) {
 	m := topology.NewMesh(4, 4)
-	flows := traffic.Transpose(m, 25)
+	flows, err := traffic.Transpose(m, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
 	results := Explore(m, flows, Config{})
 	if len(results) != 15 {
 		t.Fatalf("explored %d CDGs, want the thesis' 15", len(results))
@@ -39,7 +42,10 @@ func TestExploreCoversAllBreakers(t *testing.T) {
 // 8x8 transpose; every DOR baseline sits at 175.
 func TestBestTransposeDijkstraReaches75(t *testing.T) {
 	m := topology.NewMesh(8, 8)
-	flows := traffic.Transpose(m, traffic.DefaultSyntheticDemand)
+	flows, err := traffic.Transpose(m, traffic.DefaultSyntheticDemand)
+	if err != nil {
+		t.Fatal(err)
+	}
 	set, ex, err := Best(m, flows, Config{})
 	if err != nil {
 		t.Fatal(err)
@@ -57,7 +63,10 @@ func TestBestTransposeDijkstraReaches75(t *testing.T) {
 // demand 25, per Table 6.3).
 func TestBestBitComplementMatchesDOR(t *testing.T) {
 	m := topology.NewMesh(8, 8)
-	flows := traffic.BitComplement(m, traffic.DefaultSyntheticDemand)
+	flows, err := traffic.BitComplement(m, traffic.DefaultSyntheticDemand)
+	if err != nil {
+		t.Fatal(err)
+	}
 	set, _, err := Best(m, flows, Config{})
 	if err != nil {
 		t.Fatal(err)
@@ -91,7 +100,10 @@ func TestBestValidatesAndIsolatesHeaviestH264Flow(t *testing.T) {
 
 func TestBSORAlgorithmAdapter(t *testing.T) {
 	m := topology.NewMesh(4, 4)
-	flows := traffic.Transpose(m, 25)
+	flows, err := traffic.Transpose(m, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
 	alg := BSOR{Label: "BSOR-Dijkstra"}
 	if alg.Name() != "BSOR-Dijkstra" {
 		t.Errorf("Name = %q", alg.Name())
@@ -114,7 +126,10 @@ func TestBSORAlgorithmAdapter(t *testing.T) {
 
 func TestBestWithMILPSelectorSmall(t *testing.T) {
 	m := topology.NewMesh(4, 4)
-	flows := traffic.Transpose(m, 25)
+	flows, err := traffic.Transpose(m, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
 	cfg := Config{
 		Selector: route.MILPSelector{HopSlack: 2, MaxPathsPerFlow: 48, Refinements: 3},
 		Breakers: []cdg.Breaker{

@@ -148,7 +148,10 @@ func TestEndToEndTransmitterSimulation(t *testing.T) {
 // Unit-demand (bandwidth-oblivious) selection composes with the framework.
 func TestCoreWithUnitDemandSelector(t *testing.T) {
 	m := topology.NewMesh(8, 8)
-	flows := traffic.Transpose(m, traffic.DefaultSyntheticDemand)
+	flows, err := traffic.Transpose(m, traffic.DefaultSyntheticDemand)
+	if err != nil {
+		t.Fatal(err)
+	}
 	set, _, err := Best(m, flows, Config{
 		VCs:      2,
 		Selector: route.UnitDemand(route.DijkstraSelector{}),

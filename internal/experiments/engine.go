@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -28,14 +30,35 @@ const (
 	KindSim JobKind = "sim"
 )
 
-// TopoSpec declares a topology by name and dimensions, so that a Job is
+// TopoSpec declares a topology by kind and parameters, so that a Job is
 // fully serializable. The zero value defaults to the thesis' 8x8 mesh.
+//
+// Kinds and their parameters:
+//
+//	mesh, torus                  Width x Height grid
+//	ring, fullmesh               Nodes
+//	clos                         Spines x Leaves folded Clos (fat tree)
+//	faulted-mesh, faulted-torus  Width x Height grid with Faults failed
+//	                             links removed under seed FaultSeed
+//
+// Unknown kinds and invalid parameters fail at Build, so a declarative
+// job with a misspelled topology errors loudly instead of silently
+// running on a default mesh.
 type TopoSpec struct {
-	// Kind is "mesh" or "torus".
+	// Kind names the topology family; see above. Empty means "mesh".
 	Kind string `json:"kind"`
-	// Width and Height are the grid dimensions.
-	Width  int `json:"width"`
-	Height int `json:"height"`
+	// Width and Height are the grid dimensions of the grid-derived kinds.
+	Width  int `json:"width,omitempty"`
+	Height int `json:"height,omitempty"`
+	// Nodes is the node count of a ring or fullmesh.
+	Nodes int `json:"nodes,omitempty"`
+	// Spines and Leaves are the two levels of a clos.
+	Spines int `json:"spines,omitempty"`
+	Leaves int `json:"leaves,omitempty"`
+	// Faults is the number of failed links of a faulted-* kind; FaultSeed
+	// selects which links fail (topology.Faulted).
+	Faults    int   `json:"faults,omitempty"`
+	FaultSeed int64 `json:"fault_seed,omitempty"`
 }
 
 // MeshSpec declares a width x height mesh.
@@ -48,34 +71,117 @@ func TorusSpec(width, height int) TopoSpec {
 	return TopoSpec{Kind: "torus", Width: width, Height: height}
 }
 
+// RingSpec declares an n-node bidirectional ring.
+func RingSpec(n int) TopoSpec {
+	return TopoSpec{Kind: "ring", Nodes: n}
+}
+
+// FullMeshSpec declares an n-node complete graph.
+func FullMeshSpec(n int) TopoSpec {
+	return TopoSpec{Kind: "fullmesh", Nodes: n}
+}
+
+// ClosSpec declares a spines x leaves folded Clos.
+func ClosSpec(spines, leaves int) TopoSpec {
+	return TopoSpec{Kind: "clos", Spines: spines, Leaves: leaves}
+}
+
+// FaultedMeshSpec declares a width x height mesh with faults failed links.
+func FaultedMeshSpec(width, height, faults int, seed int64) TopoSpec {
+	return TopoSpec{Kind: "faulted-mesh", Width: width, Height: height,
+		Faults: faults, FaultSeed: seed}
+}
+
+// FaultedTorusSpec declares a width x height torus with faults failed
+// links.
+func FaultedTorusSpec(width, height, faults int, seed int64) TopoSpec {
+	return TopoSpec{Kind: "faulted-torus", Width: width, Height: height,
+		Faults: faults, FaultSeed: seed}
+}
+
 func (t TopoSpec) withDefaults() TopoSpec {
 	if t.Kind == "" {
 		t.Kind = "mesh"
 	}
-	if t.Width == 0 {
-		t.Width = 8
-	}
-	if t.Height == 0 {
-		t.Height = 8
+	switch t.Kind {
+	case "mesh", "torus", "faulted-mesh", "faulted-torus":
+		if t.Width == 0 {
+			t.Width = 8
+		}
+		if t.Height == 0 {
+			t.Height = 8
+		}
+	case "ring", "fullmesh":
+		if t.Nodes == 0 {
+			t.Nodes = 8
+		}
+	case "clos":
+		if t.Spines == 0 {
+			t.Spines = 4
+		}
+		if t.Leaves == 0 {
+			t.Leaves = 8
+		}
 	}
 	return t
 }
 
+// IsGrid reports whether the declared topology is an orthogonal grid, on
+// which the grid-specific breaker and workload defaults apply.
+func (t TopoSpec) IsGrid() bool {
+	k := t.withDefaults().Kind
+	return k == "mesh" || k == "torus"
+}
+
+// NumNodes reports the node count of the declared topology without
+// building it, so that default breaker sets (which name spanning-order
+// roots) can be derived from the spec alone.
+func (t TopoSpec) NumNodes() int {
+	t = t.withDefaults()
+	switch t.Kind {
+	case "ring", "fullmesh":
+		return t.Nodes
+	case "clos":
+		return t.Spines + t.Leaves
+	}
+	return t.Width * t.Height
+}
+
 // Build constructs the declared topology.
-func (t TopoSpec) Build() (topology.Grid, error) {
+func (t TopoSpec) Build() (topology.Topology, error) {
 	t = t.withDefaults()
 	switch t.Kind {
 	case "mesh":
 		return topology.NewMesh(t.Width, t.Height), nil
 	case "torus":
 		return topology.NewTorus(t.Width, t.Height), nil
+	case "ring":
+		return topology.NewRing(t.Nodes), nil
+	case "fullmesh":
+		return topology.NewFullMesh(t.Nodes), nil
+	case "clos":
+		return topology.NewFoldedClos(t.Spines, t.Leaves), nil
+	case "faulted-mesh":
+		return topology.Faulted(topology.NewMesh(t.Width, t.Height), t.FaultSeed, t.Faults)
+	case "faulted-torus":
+		return topology.Faulted(topology.NewTorus(t.Width, t.Height), t.FaultSeed, t.Faults)
 	}
 	return nil, fmt.Errorf("experiments: unknown topology kind %q", t.Kind)
 }
 
-// String returns a compact label such as "mesh8x8".
+// String returns a compact label such as "mesh8x8" or
+// "faulted-mesh8x8-f6-s1"; it uniquely keys the topology cache, so every
+// parameter that changes the built network appears in it.
 func (t TopoSpec) String() string {
 	t = t.withDefaults()
+	switch t.Kind {
+	case "ring", "fullmesh":
+		return fmt.Sprintf("%s%d", t.Kind, t.Nodes)
+	case "clos":
+		return fmt.Sprintf("clos%dx%d", t.Spines, t.Leaves)
+	case "faulted-mesh", "faulted-torus":
+		return fmt.Sprintf("%s%dx%d-f%d-s%d", t.Kind, t.Width, t.Height, t.Faults, t.FaultSeed)
+	}
 	return fmt.Sprintf("%s%dx%d", t.Kind, t.Width, t.Height)
 }
 
@@ -105,11 +211,14 @@ type Job struct {
 	// Workload names one of the six evaluation workloads.
 	Workload string `json:"workload"`
 	// Algorithm names the routing algorithm: "BSOR-MILP", "BSOR-Dijkstra",
-	// or one of the baselines ("XY", "YX", "ROMM", "Valiant", "O1TURN").
+	// "BSOR-Heuristic", or one of the baselines — the grid families "XY",
+	// "YX", "ROMM", "Valiant", "O1TURN", or the graph-generic "SP"
+	// (deterministic shortest path over an up*/down*-broken CDG).
 	Algorithm string `json:"algorithm"`
 	// Breakers lists the acyclic-CDG strategies a BSOR algorithm explores,
 	// by name. Empty means the topology's default set: the standard fifteen
-	// on a mesh, the twelve dateline rules on a torus. Baselines ignore it.
+	// on a mesh, the twelve dateline rules on a torus, the up*/down* set on
+	// every other kind. Baselines ignore it.
 	Breakers []string `json:"breakers,omitempty"`
 	// VCs is the virtual channel count for synthesis and simulation.
 	VCs int `json:"vcs"`
@@ -250,7 +359,7 @@ type Runner struct {
 	simWallNs   atomic.Int64
 
 	topoMu sync.Mutex
-	topos  map[string]topology.Grid
+	topos  map[string]topology.Topology
 }
 
 // NewRunner returns a Runner with default selectors and worker count.
@@ -316,9 +425,9 @@ func (r *Runner) Run(jobs []Job) []Result {
 	return results
 }
 
-// grid returns the (cached) topology instance of a spec, so concurrent
-// jobs on the same topology share one immutable grid.
-func (r *Runner) grid(spec TopoSpec) (topology.Grid, error) {
+// topo returns the (cached) topology instance of a spec, so concurrent
+// jobs on the same topology share one immutable network.
+func (r *Runner) topo(spec TopoSpec) (topology.Topology, error) {
 	key := spec.String()
 	r.topoMu.Lock()
 	defer r.topoMu.Unlock()
@@ -330,7 +439,7 @@ func (r *Runner) grid(spec TopoSpec) (topology.Grid, error) {
 		return nil, err
 	}
 	if r.topos == nil {
-		r.topos = make(map[string]topology.Grid)
+		r.topos = make(map[string]topology.Topology)
 	}
 	r.topos[key] = g
 	return g, nil
@@ -346,7 +455,7 @@ func (r *Runner) exec(j Job) (res Result) {
 		}
 	}()
 	res = Result{Job: j, MCL: -1}
-	g, err := r.grid(j.Topo)
+	g, err := r.topo(j.Topo)
 	if err != nil {
 		res.Err = err.Error()
 		return res
@@ -379,7 +488,7 @@ func (r *Runner) exec(j Job) (res Result) {
 }
 
 // synthesize computes the route set of a job (uncached path).
-func (r *Runner) synthesize(g topology.Grid, j Job) (*route.Set, float64, float64, string, error) {
+func (r *Runner) synthesize(g topology.Topology, j Job) (*route.Set, float64, float64, string, error) {
 	flows, err := workloadFlows(g, j.Workload)
 	if err != nil {
 		return nil, 0, 0, "", err
@@ -446,12 +555,14 @@ func (r *Runner) algorithm(j Job) (route.Algorithm, error) {
 		return route.Valiant{Seed: 1}, nil
 	case "O1TURN":
 		return route.O1TURN{Seed: 1}, nil
+	case "SP":
+		return route.ShortestPath{VCs: j.VCs}, nil
 	}
 	return nil, fmt.Errorf("experiments: unknown algorithm %q", j.Algorithm)
 }
 
 // simulate runs the cycle-accurate simulator for one KindSim job.
-func (r *Runner) simulate(g topology.Grid, set *route.Set, j Job) (*SweepPoint, error) {
+func (r *Runner) simulate(g topology.Topology, set *route.Set, j Job) (*SweepPoint, error) {
 	var variation func(flow int) float64
 	if j.Variation > 0 {
 		mmps := make([]*traffic.MMP, len(set.Routes))
@@ -502,13 +613,40 @@ var breakerRegistry = sync.OnceValue(func() map[string]cdg.Breaker {
 })
 
 // BreakerByName resolves an acyclic-CDG strategy name (as reported by
-// Breaker.Name) to its implementation: the standard fifteen mesh breakers
-// plus the twelve dateline rules for tori.
+// Breaker.Name) to its implementation: the standard fifteen mesh breakers,
+// the twelve dateline rules for tori, and the parametric graph-generic
+// families "updown@<root>" and "updown-escape@<root>" for arbitrary
+// topologies.
 func BreakerByName(name string) (cdg.Breaker, error) {
 	if b, ok := breakerRegistry()[name]; ok {
 		return b, nil
 	}
+	if root, ok := parseRoot(name, "updown@"); ok {
+		return cdg.UpDownBreaker{Root: root}, nil
+	}
+	if root, ok := parseRoot(name, "updown-escape@"); ok {
+		return cdg.UpDownEscapeBreaker{Root: root}, nil
+	}
 	return nil, fmt.Errorf("experiments: unknown breaker %q", name)
+}
+
+// parseRoot extracts the non-negative root node id of a parametric
+// graph-breaker name.
+func parseRoot(name, prefix string) (topology.NodeID, bool) {
+	if !strings.HasPrefix(name, prefix) {
+		return 0, false
+	}
+	root, err := strconv.Atoi(name[len(prefix):])
+	if err != nil || root < 0 {
+		return 0, false
+	}
+	return topology.NodeID(root), true
+}
+
+// GraphBreakerNames returns the names of the default graph-generic breaker
+// exploration set (cdg.GraphBreakers) for a topology with numNodes nodes.
+func GraphBreakerNames(numNodes int) []string {
+	return BreakerNames(cdg.GraphBreakers(numNodes))
 }
 
 // BreakerNames returns the names of a breaker list, for building jobs.
@@ -532,15 +670,19 @@ func DatelineBreakerNames() []string {
 }
 
 // resolveBreakers maps a job's breaker names to implementations; an empty
-// list selects the topology's default set (standard fifteen on a mesh,
-// the twelve dateline rules on a torus).
+// list selects the topology's default set: the standard fifteen on a
+// mesh, the twelve dateline rules on a torus, and the graph-generic
+// up*/down* set on every other kind.
 func resolveBreakers(j Job) ([]cdg.Breaker, error) {
 	names := j.Breakers
 	if len(names) == 0 {
-		if j.Topo.withDefaults().Kind == "torus" {
+		switch {
+		case j.Topo.withDefaults().Kind == "torus":
 			names = DatelineBreakerNames()
-		} else {
+		case j.Topo.IsGrid():
 			return nil, nil // core's default: cdg.StandardBreakers
+		default:
+			names = GraphBreakerNames(j.Topo.NumNodes())
 		}
 	}
 	bs := make([]cdg.Breaker, len(names))

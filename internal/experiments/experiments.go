@@ -47,37 +47,60 @@ func SyntheticWorkloadNames() []string {
 	return []string{"transpose", "bit-complement", "shuffle"}
 }
 
+// RandPermSeed fixes the permutation of the "rand-perm" workload. The
+// workload must be a pure function of the topology (route syntheses are
+// memoized per (topology, workload, ...) key), so the seed is a package
+// constant rather than a job parameter.
+const RandPermSeed = 1
+
 // Workloads returns the thesis' six workloads on an 8x8 grid (mesh or
 // torus): three synthetic patterns at 25 MB/s per flow and three profiled
 // applications.
 func Workloads(g topology.Grid) []Workload {
-	return []Workload{
-		{"transpose", traffic.Transpose(g, traffic.DefaultSyntheticDemand)},
-		{"bit-complement", traffic.BitComplement(g, traffic.DefaultSyntheticDemand)},
-		{"shuffle", traffic.Shuffle(g, traffic.DefaultSyntheticDemand)},
-		{"h264", traffic.H264Decoder(g).Flows},
-		{"perf-modeling", traffic.PerfModeling(g).Flows},
-		{"transmitter", traffic.Transmitter80211(g).Flows},
+	names := append(append([]string{}, SyntheticWorkloadNames()...),
+		"h264", "perf-modeling", "transmitter")
+	ws := make([]Workload, 0, len(names))
+	for _, name := range names {
+		flows, err := workloadFlows(g, name)
+		if err != nil {
+			panic(err) // an 8x8 grid admits every thesis workload
+		}
+		ws = append(ws, Workload{name, flows})
 	}
+	return ws
 }
 
-// workloadFlows builds one named workload on g — only the one asked for,
+// workloadFlows builds one named workload on t — only the one asked for,
 // since the applications require a grid large enough for their placements
-// and must not be constructed for jobs that never use them.
-func workloadFlows(g topology.Grid, name string) ([]flowgraph.Flow, error) {
+// and must not be constructed for jobs that never use them. The synthetic
+// patterns run on any topology (the bit permutations report a typed error
+// on non-power-of-two node counts; "rand-perm" runs everywhere); the
+// profiled applications carry grid placements and error on other kinds.
+func workloadFlows(t topology.Topology, name string) ([]flowgraph.Flow, error) {
 	switch name {
 	case "transpose":
-		return traffic.Transpose(g, traffic.DefaultSyntheticDemand), nil
+		return traffic.Transpose(t, traffic.DefaultSyntheticDemand)
 	case "bit-complement":
-		return traffic.BitComplement(g, traffic.DefaultSyntheticDemand), nil
+		return traffic.BitComplement(t, traffic.DefaultSyntheticDemand)
 	case "shuffle":
-		return traffic.Shuffle(g, traffic.DefaultSyntheticDemand), nil
-	case "h264":
-		return traffic.H264Decoder(g).Flows, nil
-	case "perf-modeling":
-		return traffic.PerfModeling(g).Flows, nil
-	case "transmitter":
-		return traffic.Transmitter80211(g).Flows, nil
+		return traffic.Shuffle(t, traffic.DefaultSyntheticDemand)
+	case "rand-perm":
+		return traffic.RandomPermutation(t, traffic.DefaultSyntheticDemand, RandPermSeed), nil
+	}
+	switch name {
+	case "h264", "perf-modeling", "transmitter":
+		g, ok := t.(topology.Grid)
+		if !ok {
+			return nil, fmt.Errorf("experiments: workload %q requires a grid topology, got %T (use traffic.PlacedApp for explicit placements)", name, t)
+		}
+		switch name {
+		case "h264":
+			return traffic.H264Decoder(g).Flows, nil
+		case "perf-modeling":
+			return traffic.PerfModeling(g).Flows, nil
+		default:
+			return traffic.Transmitter80211(g).Flows, nil
+		}
 	}
 	return nil, fmt.Errorf("experiments: unknown workload %q", name)
 }
@@ -217,13 +240,18 @@ func dynamicVC(name string) bool { return name == "XY" || name == "YX" }
 
 // sweepBreakers picks the BSOR breaker set for a figure sweep on topo:
 // the table breaker subset on a mesh (equal best-MCL on these workloads,
-// faster regeneration), or the dateline set on a torus, where mesh turn
-// rules cannot break the wraparound ring cycles.
+// faster regeneration), the dateline set on a torus, where mesh turn
+// rules cannot break the wraparound ring cycles, or the graph-generic
+// up*/down* set on every non-grid kind.
 func sweepBreakers(topo TopoSpec) []string {
-	if topo.withDefaults().Kind == "torus" {
+	switch {
+	case topo.withDefaults().Kind == "torus":
 		return DatelineBreakerNames()
+	case topo.IsGrid():
+		return TableBreakerNames()
+	default:
+		return GraphBreakerNames(topo.NumNodes())
 	}
-	return TableBreakerNames()
 }
 
 // FigureSweep produces the throughput and latency curves of Figures 6-1

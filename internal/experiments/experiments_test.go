@@ -179,7 +179,7 @@ func TestInjectionTrace(t *testing.T) {
 
 func TestDynamicVCPolicy(t *testing.T) {
 	for name, want := range map[string]bool{
-		"XY": true, "YX": true, "ROMM": false, "Valiant": false,
+		"XY": true, "YX": true, "ROMM": false, "Valiant": false, "SP": false,
 		"BSOR-MILP": false, "BSOR-Dijkstra": false, "BSOR-Heuristic": false,
 	} {
 		if dynamicVC(name) != want {

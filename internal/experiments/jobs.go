@@ -115,6 +115,54 @@ func SynthScaleAlgorithms() []string {
 	return []string{"XY", "YX", "O1TURN", "BSOR-Dijkstra", "BSOR-Heuristic"}
 }
 
+// FaultSweepJobs builds the fault-tolerance scenario: a grid degrades one
+// failed link at a time (faultCounts, under one fault seed so the sweeps
+// are reproducible), and every algorithm is simulated at every offered
+// rate on each degraded fabric. base must be a "mesh" or "torus" spec;
+// each fault count becomes the matching "faulted-" spec. BSOR variants
+// explore the graph-generic up*/down* breaker set — grid turn rules
+// cannot be assumed to survive arbitrary link failures.
+func FaultSweepJobs(experiment string, base TopoSpec, seed int64, faultCounts []int,
+	algorithms []string, workload string, rates []float64, p SimParams) []Job {
+
+	base = base.withDefaults()
+	p = p.withDefaults()
+	breakers := GraphBreakerNames(base.NumNodes())
+	var jobs []Job
+	for _, faults := range faultCounts {
+		spec := TopoSpec{Kind: "faulted-" + base.Kind, Width: base.Width, Height: base.Height,
+			Faults: faults, FaultSeed: seed}
+		for _, a := range algorithms {
+			for _, rate := range rates {
+				j := Job{
+					Experiment: experiment, Kind: KindSim, Topo: spec,
+					Workload: workload, Algorithm: a, VCs: p.VCs,
+					Rate:   rate,
+					Warmup: p.WarmupCycles, Measure: p.MeasureCycles, Seed: p.Seed,
+				}
+				if isBSOR(a) {
+					j.Breakers = breakers
+				}
+				jobs = append(jobs, j)
+			}
+		}
+	}
+	return jobs
+}
+
+// FaultSweepAlgorithms returns the algorithm columns of the fault sweep:
+// the graph-generic deterministic baseline and the BSOR selector that
+// stays tractable across many degraded instances. The grid baselines
+// (XY, ROMM, ...) are deliberately absent — their paths assume channels
+// that may have failed.
+func FaultSweepAlgorithms() []string {
+	return []string{"SP", "BSOR-Dijkstra"}
+}
+
+// ByTopo keys a result by its job's topology label (fault sweeps group
+// one table block per degraded instance).
+func ByTopo(res Result) string { return res.Job.Topo.String() }
+
 // isBSOR reports whether an algorithm name is a BSOR variant (and thus
 // takes a breaker list).
 func isBSOR(name string) bool {

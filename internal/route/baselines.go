@@ -9,13 +9,24 @@ import (
 )
 
 // Algorithm is any oblivious routing algorithm that assigns a static route
-// per flow on an orthogonal grid (mesh or torus): the baselines here, or
-// the BSOR framework (wrapped by the core package). The dimension-order
-// families never cross wraparound links, so on a torus they degrade to
-// their mesh behavior while remaining deadlock free.
+// per flow on a topology: the baselines here, or the BSOR framework
+// (wrapped by the core package). The dimension-order families require an
+// orthogonal grid (mesh or torus) and return an error on any other
+// topology; ShortestPath and BSOR run on arbitrary networks. The
+// dimension-order families never cross wraparound links, so on a torus
+// they degrade to their mesh behavior while remaining deadlock free.
 type Algorithm interface {
 	Name() string
-	Routes(g topology.Grid, flows []flowgraph.Flow) (*Set, error)
+	Routes(t topology.Topology, flows []flowgraph.Flow) (*Set, error)
+}
+
+// asGrid asserts that a topology is an orthogonal grid, for the baselines
+// whose geometry is inherently two-dimensional.
+func asGrid(t topology.Topology, alg string) (topology.Grid, error) {
+	if g, ok := t.(topology.Grid); ok {
+		return g, nil
+	}
+	return nil, fmt.Errorf("route: %s requires a grid topology (mesh or torus), got %T; use SP or BSOR on general graphs", alg, t)
 }
 
 // dorPath returns the dimension-order path between two nodes: X dimension
@@ -78,7 +89,11 @@ type XY struct{}
 func (XY) Name() string { return "XY" }
 
 // Routes implements Algorithm.
-func (XY) Routes(g topology.Grid, flows []flowgraph.Flow) (*Set, error) {
+func (XY) Routes(t topology.Topology, flows []flowgraph.Flow) (*Set, error) {
+	g, err := asGrid(t, "XY")
+	if err != nil {
+		return nil, err
+	}
 	return dorRoutes(g, flows, true)
 }
 
@@ -89,7 +104,11 @@ type YX struct{}
 func (YX) Name() string { return "YX" }
 
 // Routes implements Algorithm.
-func (YX) Routes(g topology.Grid, flows []flowgraph.Flow) (*Set, error) {
+func (YX) Routes(t topology.Topology, flows []flowgraph.Flow) (*Set, error) {
+	g, err := asGrid(t, "YX")
+	if err != nil {
+		return nil, err
+	}
 	return dorRoutes(g, flows, false)
 }
 
@@ -161,7 +180,11 @@ type ROMM struct {
 func (ROMM) Name() string { return "ROMM" }
 
 // Routes implements Algorithm.
-func (r ROMM) Routes(g topology.Grid, flows []flowgraph.Flow) (*Set, error) {
+func (r ROMM) Routes(t topology.Topology, flows []flowgraph.Flow) (*Set, error) {
+	g, err := asGrid(t, "ROMM")
+	if err != nil {
+		return nil, err
+	}
 	rng := rand.New(rand.NewSource(r.Seed))
 	s := &Set{Topo: g, Routes: make([]Route, len(flows))}
 	for i, f := range flows {
@@ -190,7 +213,11 @@ type Valiant struct {
 func (Valiant) Name() string { return "Valiant" }
 
 // Routes implements Algorithm.
-func (v Valiant) Routes(g topology.Grid, flows []flowgraph.Flow) (*Set, error) {
+func (v Valiant) Routes(t topology.Topology, flows []flowgraph.Flow) (*Set, error) {
+	g, err := asGrid(t, "Valiant")
+	if err != nil {
+		return nil, err
+	}
 	rng := rand.New(rand.NewSource(v.Seed))
 	s := &Set{Topo: g, Routes: make([]Route, len(flows))}
 	for i, f := range flows {
@@ -215,7 +242,11 @@ type O1TURN struct {
 func (O1TURN) Name() string { return "O1TURN" }
 
 // Routes implements Algorithm.
-func (o O1TURN) Routes(g topology.Grid, flows []flowgraph.Flow) (*Set, error) {
+func (o O1TURN) Routes(t topology.Topology, flows []flowgraph.Flow) (*Set, error) {
+	g, err := asGrid(t, "O1TURN")
+	if err != nil {
+		return nil, err
+	}
 	rng := rand.New(rand.NewSource(o.Seed))
 	s := &Set{Topo: g, Routes: make([]Route, len(flows))}
 	for i, f := range flows {

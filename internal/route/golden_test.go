@@ -129,6 +129,80 @@ func TestGoldenSynthesisDeterminism(t *testing.T) {
 	}
 }
 
+// goldenIrregularGraph is the irregular synthesis instance: a fault-
+// degraded 5x5 mesh (4 failed links, seed 2) under the graph-generic
+// up*/down* escape breaker, with a deterministic permutation flow set
+// addressed by node id.
+func goldenIrregularGraph(t *testing.T) *flowgraph.Graph {
+	t.Helper()
+	f, err := topology.Faulted(topology.NewMesh(5, 5), 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := f.NumNodes()
+	var flows []flowgraph.Flow
+	for s := 0; s < n; s++ {
+		d := (s*7 + 3) % n
+		if d == s {
+			continue
+		}
+		flows = append(flows, flowgraph.Flow{
+			ID: len(flows), Name: "p", Src: topology.NodeID(s), Dst: topology.NodeID(d),
+			Demand: float64(10 * (1 + s%3)),
+		})
+	}
+	dag := cdg.UpDownEscapeBreaker{Root: 0}.Break(cdg.NewFull(f, 2))
+	return flowgraph.New(dag, flows, 200)
+}
+
+// TestGoldenSynthesisDeterminismIrregular mirrors the grid golden test on
+// the irregular instance: every selector's output must be byte-identical
+// across candidate-enumeration worker counts 1/4/8 and repeated runs.
+func TestGoldenSynthesisDeterminismIrregular(t *testing.T) {
+	print := os.Getenv("ROUTE_GOLDEN_PRINT") != ""
+	g := goldenIrregularGraph(t)
+	golden := map[string]string{
+		"milp":      "16a3b903615d1245",
+		"heuristic": "767b32fdc596eb39",
+		"dijkstra":  "16a3b903615d1245",
+	}
+	for _, gc := range goldenSelectors() {
+		gc := gc
+		t.Run(gc.name, func(t *testing.T) {
+			var first string
+			var firstSet *Set
+			for _, workers := range []int{1, 4, 8, 0} {
+				set, err := gc.sel(workers).Select(g)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if err := set.Validate(2); err != nil {
+					t.Fatal(err)
+				}
+				if err := set.DeadlockFree(2); err != nil {
+					t.Fatal(err)
+				}
+				s := serializeSet(set)
+				if first == "" {
+					first, firstSet = s, set
+					continue
+				}
+				if s != first {
+					t.Fatalf("workers=%d synthesis output differs from workers=1", workers)
+				}
+			}
+			digest := setDigest(firstSet)
+			if print {
+				fmt.Printf("irregular %s: digest %q\n", gc.name, digest)
+				return
+			}
+			if want := golden[gc.name]; want != "" && digest != want {
+				t.Errorf("digest %s, golden %s (ROUTE_GOLDEN_PRINT=1 to regenerate)", digest, want)
+			}
+		})
+	}
+}
+
 // TestGoldenEnumerationDeterminism pins the parallel candidate enumeration
 // directly: per-flow path lists are identical for any worker count.
 func TestGoldenEnumerationDeterminism(t *testing.T) {

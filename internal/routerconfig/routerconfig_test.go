@@ -12,7 +12,10 @@ import (
 
 func bsorSet(t *testing.T, m *topology.Mesh) *route.Set {
 	t.Helper()
-	flows := traffic.Transpose(m, 25)
+	flows, err := traffic.Transpose(m, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
 	set, _, err := core.Best(m, flows, core.Config{VCs: 2})
 	if err != nil {
 		t.Fatal(err)

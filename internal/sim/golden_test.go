@@ -36,21 +36,38 @@ type goldenCase struct {
 	want Result // counters exact, floats to 1e-9 relative
 }
 
-func goldenTopo(kind string, w, h int) topology.Grid {
-	if kind == "torus" {
+func goldenTopo(t *testing.T, kind string, w, h int) topology.Topology {
+	t.Helper()
+	switch kind {
+	case "torus":
 		return topology.NewTorus(w, h)
+	case "faulted-mesh":
+		// Seed 1, 6 failed links: the irregular golden instance.
+		f, err := topology.Faulted(topology.NewMesh(w, h), 1, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
 	}
 	return topology.NewMesh(w, h)
 }
 
-func goldenFlows(g topology.Grid, workload string) []flowgraph.Flow {
+func goldenFlows(t *testing.T, g topology.Topology, workload string) []flowgraph.Flow {
+	t.Helper()
+	var flows []flowgraph.Flow
+	var err error
 	switch workload {
 	case "shuffle":
-		return traffic.Shuffle(g, 10)
+		flows, err = traffic.Shuffle(g, 10)
 	case "bit-complement":
-		return traffic.BitComplement(g, 10)
+		flows, err = traffic.BitComplement(g, 10)
+	default:
+		flows, err = traffic.Transpose(g, 10)
 	}
-	return traffic.Transpose(g, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return flows
 }
 
 func goldenCases() []goldenCase {
@@ -58,8 +75,8 @@ func goldenCases() []goldenCase {
 		mut func(*Config)) func(t *testing.T) Config {
 		return func(t *testing.T) Config {
 			t.Helper()
-			g := goldenTopo(kind, w, h)
-			set, err := alg.Routes(g, goldenFlows(g, workload))
+			g := goldenTopo(t, kind, w, h)
+			set, err := alg.Routes(g, goldenFlows(t, g, workload))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -129,6 +146,18 @@ func goldenCases() []goldenCase {
 				AvgLatency: 30.918977004083388, AvgTotalLatency: 146.85170857511284,
 				LatencyP50: 32, LatencyP95: 64, LatencyP99: 160,
 				LatencyStd: 76.17999295905824, FlitHops: 91158},
+		},
+		{
+			// The irregular instance of the tentpole acceptance: SP routes
+			// (up*/down*-broken CDG) simulated on a fault-degraded mesh.
+			name: "faulted-mesh8x8-transpose-sp-vc2-r1-s17",
+			cfg: mk("faulted-mesh", 8, 8, "transpose", route.ShortestPath{VCs: 2}, func(c *Config) {
+				c.VCs, c.OfferedRate, c.Seed = 2, 1, 17
+			}),
+			want: Result{PacketsInjected: 10054, PacketsDelivered: 7710, Throughput: 0.771,
+				AvgLatency: 95.29364461738002, AvgTotalLatency: 407.8291828793774,
+				LatencyP50: 32, LatencyP95: 288, LatencyP99: 1472,
+				LatencyStd: 369.99433462137165, FlitHops: 461410},
 		},
 		{
 			name: "mesh8x8-transpose-vc8-len1-r2-s13",

@@ -1,0 +1,234 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateAllFamilies runs the invariant checker over every shipped
+// topology family, including the degenerate shapes the grid types admit:
+// 1xN meshes (lines), the 2x2 torus whose wraps duplicate neighbors, and
+// heavily faulted-but-connected meshes.
+func TestValidateAllFamilies(t *testing.T) {
+	faulted := func(g Grid, seed int64, n int) Topology {
+		t.Helper()
+		f, err := Faulted(g, seed, n)
+		if err != nil {
+			t.Fatalf("Faulted(seed=%d, n=%d): %v", seed, n, err)
+		}
+		return f
+	}
+	cases := []struct {
+		name string
+		topo Topology
+	}{
+		{"mesh8x8", NewMesh(8, 8)},
+		{"mesh1x1", NewMesh(1, 1)},
+		{"mesh1x8", NewMesh(1, 8)},
+		{"mesh8x1", NewMesh(8, 1)},
+		{"torus2x2", NewTorus(2, 2)},
+		{"torus2x5", NewTorus(2, 5)},
+		{"torus4x4", NewTorus(4, 4)},
+		{"ring3", NewRing(3)},
+		{"ring16", NewRing(16)},
+		{"fullmesh2", NewFullMesh(2)},
+		{"fullmesh8", NewFullMesh(8)},
+		{"clos1x2", NewFoldedClos(1, 2)},
+		{"clos4x8", NewFoldedClos(4, 8)},
+		{"faulted4x4", faulted(NewMesh(4, 4), 1, 4)},
+		{"faulted8x8-heavy", faulted(NewMesh(8, 8), 3, 30)},
+		{"faulted-torus6x6", faulted(NewTorus(6, 6), 2, 10)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := Validate(c.topo); err != nil {
+				t.Fatal(err)
+			}
+			if c.topo.NumNodes() == 0 {
+				t.Fatal("no nodes")
+			}
+		})
+	}
+}
+
+func TestTorus2x2DuplicateNeighborWraps(t *testing.T) {
+	tor := NewTorus(2, 2)
+	// East and West from (0,0) both reach (1,0): two parallel channels,
+	// exactly one of which wraps.
+	a := tor.ChannelAt(tor.NodeAt(0, 0), East)
+	b := tor.ChannelAt(tor.NodeAt(0, 0), West)
+	if tor.Channel(a).Dst != tor.NodeAt(1, 0) || tor.Channel(b).Dst != tor.NodeAt(1, 0) {
+		t.Fatalf("E/W from (0,0) reach %v and %v, want both (1,0)",
+			tor.Channel(a).Dst, tor.Channel(b).Dst)
+	}
+	if tor.Wraparound(a) == tor.Wraparound(b) {
+		t.Errorf("parallel channels %d and %d have equal wrap flag", a, b)
+	}
+	// ChannelFromTo must prefer the non-wrapping one.
+	got := tor.ChannelFromTo(tor.NodeAt(0, 0), tor.NodeAt(1, 0))
+	if tor.Wraparound(got) {
+		t.Errorf("ChannelFromTo preferred the wrapping channel %d", got)
+	}
+}
+
+func TestBuilderRejectsBadChannels(t *testing.T) {
+	b := NewBuilder("bad")
+	n0 := b.Node("a")
+	b.Channel(n0, NodeID(7))
+	if _, err := b.Build(); err == nil {
+		t.Error("out-of-range endpoint accepted")
+	}
+	b2 := NewBuilder("bad2")
+	x := b2.Node("a")
+	b2.Channel(x, x)
+	if _, err := b2.Build(); err == nil {
+		t.Error("self loop accepted")
+	}
+	b3 := NewBuilder("disconnected")
+	b3.Node("a")
+	b3.Node("b")
+	b3.Node("c")
+	b3.Link(0, 1)
+	if _, err := b3.Build(); err == nil || !strings.Contains(err.Error(), "strongly connected") {
+		t.Errorf("disconnected graph accepted: %v", err)
+	}
+}
+
+// TestFaultedAlwaysStronglyConnected property-tests the connectivity
+// guarantee across seeds and fault counts, on both grid kinds.
+func TestFaultedAlwaysStronglyConnected(t *testing.T) {
+	grids := []struct {
+		name   string
+		grid   Grid
+		faults []int
+	}{
+		// A WxH mesh has 2WH-W-H links and needs a WH-1-link spanning
+		// structure, bounding the removable count.
+		{"mesh8x8", NewMesh(8, 8), []int{0, 1, 3, 8, 14}},
+		{"mesh4x4", NewMesh(4, 4), []int{0, 1, 3, 8}},
+		{"torus5x5", NewTorus(5, 5), []int{0, 1, 3, 8, 14}},
+	}
+	for _, gc := range grids {
+		for seed := int64(1); seed <= 8; seed++ {
+			for _, faults := range gc.faults {
+				f, err := Faulted(gc.grid, seed, faults)
+				if err != nil {
+					t.Fatalf("%s seed=%d faults=%d: %v", gc.name, seed, faults, err)
+				}
+				if !StronglyConnected(f) {
+					t.Fatalf("%s seed=%d faults=%d: not strongly connected", gc.name, seed, faults)
+				}
+				wantRemoved := 2 * faults
+				if got := gc.grid.NumChannels() - f.NumChannels(); got != wantRemoved {
+					t.Fatalf("%s seed=%d faults=%d: removed %d channels, want %d",
+						gc.name, seed, faults, got, wantRemoved)
+				}
+			}
+		}
+	}
+}
+
+// TestFaultedDeterministic pins that the same (grid, seed, faults) triple
+// yields an identical channel set — the experiment engine's declarative
+// TopoSpec relies on it.
+func TestFaultedDeterministic(t *testing.T) {
+	m := NewMesh(6, 6)
+	a, err := Faulted(m, 42, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Faulted(m, 42, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumChannels() != b.NumChannels() {
+		t.Fatalf("channel counts differ: %d vs %d", a.NumChannels(), b.NumChannels())
+	}
+	for id := ChannelID(0); id < ChannelID(a.NumChannels()); id++ {
+		ca, cb := a.Channel(id), b.Channel(id)
+		if ca.Src != cb.Src || ca.Dst != cb.Dst || ca.Dir != cb.Dir {
+			t.Fatalf("channel %d differs: %+v vs %+v", id, ca, cb)
+		}
+	}
+	c, err := Faulted(m, 43, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := c.NumChannels() == a.NumChannels()
+	if same {
+		diff := false
+		for id := ChannelID(0); id < ChannelID(a.NumChannels()); id++ {
+			if a.Channel(id) != c.Channel(id) {
+				diff = true
+				break
+			}
+		}
+		if !diff {
+			t.Error("seeds 42 and 43 produced identical fault sets")
+		}
+	}
+}
+
+// TestFaultedParallelLinksOnNarrowTorus pins the physical-link pairing on
+// the degenerate 2-wide torus: one fault removes exactly one of the two
+// parallel links between a duplicate-neighbor pair (2 channels), never
+// both.
+func TestFaultedParallelLinksOnNarrowTorus(t *testing.T) {
+	tor := NewTorus(2, 4)
+	for seed := int64(1); seed <= 6; seed++ {
+		f, err := Faulted(tor, seed, 3)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got := tor.NumChannels() - f.NumChannels(); got != 6 {
+			t.Fatalf("seed %d: removed %d channels for 3 faults, want 6", seed, got)
+		}
+		if !StronglyConnected(f) {
+			t.Fatalf("seed %d: disconnected", seed)
+		}
+	}
+}
+
+// TestFaultedTooManyFaults pins the failure mode: asking for more removals
+// than connectivity allows errors instead of silently under-delivering.
+func TestFaultedTooManyFaults(t *testing.T) {
+	// A 2x2 mesh has 4 links; removing any one disconnects nothing, but a
+	// spanning structure must survive, so 2+ removals must fail.
+	if _, err := Faulted(NewMesh(2, 2), 1, 2); err == nil {
+		t.Error("over-faulting a 2x2 mesh did not error")
+	}
+	if _, err := Faulted(NewMesh(4, 4), 1, 1000); err == nil {
+		t.Error("removing 1000 links from a 4x4 mesh did not error")
+	}
+}
+
+func TestFoldedClosShape(t *testing.T) {
+	g := NewFoldedClos(4, 8)
+	if g.NumNodes() != 12 {
+		t.Fatalf("%d nodes, want 12", g.NumNodes())
+	}
+	if g.NumChannels() != 2*4*8 {
+		t.Fatalf("%d channels, want %d", g.NumChannels(), 2*4*8)
+	}
+	// Leaves occupy the low ids and connect only to spines.
+	for l := NodeID(0); l < 8; l++ {
+		for _, ch := range g.OutChannels(l) {
+			if g.Channel(ch).Dst < 8 {
+				t.Fatalf("leaf %d has a direct leaf link to %d", l, g.Channel(ch).Dst)
+			}
+		}
+	}
+}
+
+func TestRingShape(t *testing.T) {
+	g := NewRing(5)
+	if g.NumNodes() != 5 || g.NumChannels() != 10 {
+		t.Fatalf("ring5: %d nodes %d channels", g.NumNodes(), g.NumChannels())
+	}
+	for n := NodeID(0); n < 5; n++ {
+		if len(g.OutChannels(n)) != 2 || len(g.InChannels(n)) != 2 {
+			t.Fatalf("node %d degree out=%d in=%d, want 2/2",
+				n, len(g.OutChannels(n)), len(g.InChannels(n)))
+		}
+	}
+}

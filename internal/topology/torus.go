@@ -20,10 +20,13 @@ type Torus struct {
 }
 
 // NewTorus constructs a Width x Height torus. Both dimensions must be at
-// least 3 so that a channel's reverse is distinct from its wraparound.
+// least 2. Below 3 a channel's reverse coincides with its wraparound, so a
+// 2-wide dimension yields two parallel channels between each node pair
+// (one wrapping) — a degenerate but valid multigraph that Validate and the
+// dateline breaker handle; dimensions of 3 and up have distinct reverses.
 func NewTorus(width, height int) *Torus {
-	if width < 3 || height < 3 {
-		panic(fmt.Sprintf("topology: invalid torus %dx%d (min 3x3)", width, height))
+	if width < 2 || height < 2 {
+		panic(fmt.Sprintf("topology: invalid torus %dx%d (min 2x2)", width, height))
 	}
 	t := &Torus{width: width, height: height}
 	n := width * height
@@ -100,9 +103,9 @@ func (t *Torus) Neighbor(n NodeID, dir Direction) NodeID {
 // ChannelAt returns the channel leaving n in direction dir.
 func (t *Torus) ChannelAt(n NodeID, dir Direction) ChannelID { return t.chanAt[n][dir] }
 
-// ChannelFromTo implements Topology. On a 3-wide torus two parallel
-// channels may join the same node pair (one wrapping); the non-wrapping
-// one is preferred.
+// ChannelFromTo implements Topology. On a 2-wide dimension two parallel
+// channels join the same node pair (one wrapping); the non-wrapping one
+// is preferred.
 func (t *Torus) ChannelFromTo(src, dst NodeID) ChannelID {
 	found := InvalidChannel
 	for dir := East; dir < numDirections; dir++ {

@@ -21,10 +21,10 @@ func TestTorusDimensions(t *testing.T) {
 func TestTorusTooSmallPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Fatal("2-wide torus accepted")
+			t.Fatal("1-wide torus accepted")
 		}
 	}()
-	NewTorus(2, 4)
+	NewTorus(1, 4)
 }
 
 func TestTorusWraparound(t *testing.T) {

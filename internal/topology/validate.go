@@ -1,0 +1,105 @@
+package topology
+
+import "fmt"
+
+// Validate checks the Topology interface invariants every downstream layer
+// (CDG construction, flow networks, the simulator's buffer layout) relies
+// on:
+//
+//   - channel ids are dense and self-consistent (Channel(id).ID == id),
+//     endpoints in range, no self loops;
+//   - every channel appears exactly once in its source's OutChannels and
+//     its destination's InChannels, and nowhere else;
+//   - ChannelFromTo agrees with the channel list (it returns a channel
+//     with the queried endpoints whenever one exists — parallel channels,
+//     as on a 2-wide torus wrap, may resolve to either);
+//   - node names are non-empty;
+//   - the network is strongly connected, so every flow is routable.
+//
+// The Graph builder runs Validate at Build time; tests run it over every
+// shipped family, including degenerate shapes.
+func Validate(t Topology) error {
+	n, nc := t.NumNodes(), t.NumChannels()
+	if n < 1 {
+		return fmt.Errorf("topology: no nodes")
+	}
+	type pair struct{ a, b NodeID }
+	havePair := make(map[pair]bool, nc)
+	for id := ChannelID(0); id < ChannelID(nc); id++ {
+		c := t.Channel(id)
+		if c.ID != id {
+			return fmt.Errorf("topology: Channel(%d) carries id %d", id, c.ID)
+		}
+		if c.Src < 0 || int(c.Src) >= n || c.Dst < 0 || int(c.Dst) >= n {
+			return fmt.Errorf("topology: channel %d endpoints (%d,%d) outside [0,%d)",
+				id, c.Src, c.Dst, n)
+		}
+		if c.Src == c.Dst {
+			return fmt.Errorf("topology: channel %d is a self loop at node %d", id, c.Src)
+		}
+		havePair[pair{c.Src, c.Dst}] = true
+	}
+
+	// Adjacency-list consistency: each channel in exactly its source's out
+	// list and its destination's in list.
+	seenOut := make([]int, nc)
+	seenIn := make([]int, nc)
+	for node := NodeID(0); node < NodeID(n); node++ {
+		if t.NodeName(node) == "" {
+			return fmt.Errorf("topology: node %d has an empty name", node)
+		}
+		for _, id := range t.OutChannels(node) {
+			if id < 0 || int(id) >= nc {
+				return fmt.Errorf("topology: node %d lists out channel %d outside [0,%d)", node, id, nc)
+			}
+			if t.Channel(id).Src != node {
+				return fmt.Errorf("topology: node %d lists out channel %d whose source is %d",
+					node, id, t.Channel(id).Src)
+			}
+			seenOut[id]++
+		}
+		for _, id := range t.InChannels(node) {
+			if id < 0 || int(id) >= nc {
+				return fmt.Errorf("topology: node %d lists in channel %d outside [0,%d)", node, id, nc)
+			}
+			if t.Channel(id).Dst != node {
+				return fmt.Errorf("topology: node %d lists in channel %d whose destination is %d",
+					node, id, t.Channel(id).Dst)
+			}
+			seenIn[id]++
+		}
+	}
+	for id := 0; id < nc; id++ {
+		if seenOut[id] != 1 {
+			return fmt.Errorf("topology: channel %d appears %d times across OutChannels, want 1", id, seenOut[id])
+		}
+		if seenIn[id] != 1 {
+			return fmt.Errorf("topology: channel %d appears %d times across InChannels, want 1", id, seenIn[id])
+		}
+	}
+
+	// ChannelFromTo consistency over every adjacent pair.
+	for p := range havePair {
+		got := t.ChannelFromTo(p.a, p.b)
+		if got == InvalidChannel {
+			return fmt.Errorf("topology: ChannelFromTo(%d,%d) = invalid, but a channel exists", p.a, p.b)
+		}
+		c := t.Channel(got)
+		if c.Src != p.a || c.Dst != p.b {
+			return fmt.Errorf("topology: ChannelFromTo(%d,%d) returned channel %d (%d->%d)",
+				p.a, p.b, got, c.Src, c.Dst)
+		}
+	}
+
+	if !StronglyConnected(t) {
+		return fmt.Errorf("topology: network is not strongly connected")
+	}
+	return nil
+}
+
+// StronglyConnected reports whether every node can reach every other node
+// over directed channels — the routability precondition for any flow set
+// with arbitrary endpoints.
+func StronglyConnected(t Topology) bool {
+	return stronglyConnectedSubset(t, func(ChannelID) bool { return true })
+}

@@ -28,17 +28,38 @@ type appFlow struct {
 }
 
 func buildApp(g topology.Grid, name string, placement map[string][2]int, flows []appFlow) *App {
-	app := &App{Name: name, Modules: make(map[string]topology.NodeID, len(placement))}
-	used := make(map[topology.NodeID]string, len(placement))
+	modules := make(map[string]topology.NodeID, len(placement))
 	for mod, xy := range placement {
 		n := g.NodeAt(xy[0], xy[1])
 		if n == topology.InvalidNode {
 			panic(fmt.Sprintf("traffic: %s module %s placed off-mesh at (%d,%d)",
 				name, mod, xy[0], xy[1]))
 		}
+		modules[mod] = n
+	}
+	app, err := buildAppNodes(g, name, modules, flows)
+	if err != nil {
+		panic(err)
+	}
+	return app
+}
+
+// buildAppNodes assembles an App from a module-to-node-id placement on any
+// topology, validating node ranges, placement clashes, and module
+// references.
+func buildAppNodes(t topology.Topology, name string, modules map[string]topology.NodeID,
+	flows []appFlow) (*App, error) {
+
+	app := &App{Name: name, Modules: make(map[string]topology.NodeID, len(modules))}
+	used := make(map[topology.NodeID]string, len(modules))
+	for mod, n := range modules {
+		if n < 0 || int(n) >= t.NumNodes() {
+			return nil, fmt.Errorf("traffic: %s module %s placed on node %d outside [0,%d)",
+				name, mod, n, t.NumNodes())
+		}
 		if prev, clash := used[n]; clash {
-			panic(fmt.Sprintf("traffic: %s modules %s and %s share node (%d,%d)",
-				name, prev, mod, xy[0], xy[1]))
+			return nil, fmt.Errorf("traffic: %s modules %s and %s share node %s",
+				name, prev, mod, t.NodeName(n))
 		}
 		used[n] = mod
 		app.Modules[mod] = n
@@ -46,11 +67,11 @@ func buildApp(g topology.Grid, name string, placement map[string][2]int, flows [
 	for _, f := range flows {
 		src, ok := app.Modules[f.from]
 		if !ok {
-			panic(fmt.Sprintf("traffic: %s flow %s references unknown module %s", name, f.name, f.from))
+			return nil, fmt.Errorf("traffic: %s flow %s references unknown module %s", name, f.name, f.from)
 		}
 		dst, ok := app.Modules[f.to]
 		if !ok {
-			panic(fmt.Sprintf("traffic: %s flow %s references unknown module %s", name, f.name, f.to))
+			return nil, fmt.Errorf("traffic: %s flow %s references unknown module %s", name, f.name, f.to)
 		}
 		app.Flows = append(app.Flows, flowgraph.Flow{
 			ID:     len(app.Flows),
@@ -60,7 +81,35 @@ func buildApp(g topology.Grid, name string, placement map[string][2]int, flows [
 			Demand: f.demand,
 		})
 	}
-	return app
+	return app, nil
+}
+
+// appFlowTable returns the canonical flow list of a profiled application
+// ("h264", "perfmodel", or "wifi-tx"), the published rates behind the
+// grid constructors below.
+func appFlowTable(name string) ([]appFlow, bool) {
+	switch name {
+	case "h264":
+		return h264Flows(), true
+	case "perfmodel":
+		return perfModelFlows(), true
+	case "wifi-tx":
+		return wifiTxFlows(), true
+	}
+	return nil, false
+}
+
+// PlacedApp builds a profiled application workload ("h264", "perfmodel",
+// or "wifi-tx") with an explicit module-to-node-id placement, so the
+// published flow graphs run on topologies with no grid coordinates
+// (rings, Clos fabrics, faulted grids). The placement must cover every
+// module the application's flow table references.
+func PlacedApp(t topology.Topology, name string, modules map[string]topology.NodeID) (*App, error) {
+	flows, ok := appFlowTable(name)
+	if !ok {
+		return nil, fmt.Errorf("traffic: unknown application %q (want h264, perfmodel, or wifi-tx)", name)
+	}
+	return buildAppNodes(t, name, modules, flows)
 }
 
 // H264Decoder is the H.264 video decoder of §5.2.1 (Fig. 5-1): nine
@@ -76,7 +125,11 @@ func H264Decoder(g topology.Grid) *App {
 		"M4": {1, 3}, "M5": {3, 3}, "M6": {5, 3},
 		"M8": {1, 5}, "M7": {3, 5}, "M9": {5, 5},
 	}
-	flows := []appFlow{
+	return buildApp(g, "h264", placement, h264Flows())
+}
+
+func h264Flows() []appFlow {
+	return []appFlow{
 		{"f1", "M1", "M2", 39.7},
 		{"f2", "M1", "M4", 3.27},
 		{"f3", "M4", "M3", 20.4},
@@ -93,7 +146,6 @@ func H264Decoder(g topology.Grid) *App {
 		{"f14", "M6", "M9", 41.47},
 		{"f15", "M3", "M1", 0.473},
 	}
-	return buildApp(g, "h264", placement, flows)
 }
 
 // PerfModeling is the FPGA processor performance model of §5.2.2
@@ -106,7 +158,11 @@ func PerfModeling(g topology.Grid) *App {
 		"Fetch": {1, 2}, "Imem": {3, 2}, "Decode": {5, 2},
 		"Dmem": {1, 4}, "RegFile": {3, 4}, "Execute": {5, 4},
 	}
-	flows := []appFlow{
+	return buildApp(g, "perfmodel", placement, perfModelFlows())
+}
+
+func perfModelFlows() []appFlow {
+	return []appFlow{
 		{"f1", "Fetch", "Imem", 41.82},
 		{"f2", "Imem", "Fetch", 41.82},
 		{"f3", "Fetch", "Decode", 41.82},
@@ -119,7 +175,6 @@ func PerfModeling(g topology.Grid) *App {
 		{"f10", "Execute", "Dmem", 41.82},
 		{"f11", "Dmem", "Execute", 41.82},
 	}
-	return buildApp(g, "perfmodel", placement, flows)
 }
 
 // Transmitter80211 is the IEEE 802.11a/g OFDM baseband transmitter of
@@ -136,8 +191,12 @@ func Transmitter80211(g topology.Grid) *App {
 		"M12": {5, 5}, "M13": {3, 5}, "M14": {2, 6}, "M15": {1, 6},
 		"DAC": {0, 6},
 	}
+	return buildApp(g, "wifi-tx", placement, wifiTxFlows())
+}
+
+func wifiTxFlows() []appFlow {
 	const mbit = 1.0 / 8 // Mbit/s -> MB/s
-	flows := []appFlow{
+	return []appFlow{
 		{"f1", "M4", "M1", 0.7 * mbit},
 		{"f2", "M1", "M2", 36.2 * mbit},
 		{"f3", "M2", "M5", 36.2 * mbit},
@@ -159,5 +218,4 @@ func Transmitter80211(g topology.Grid) *App {
 		{"f19", "M11", "M12", 9 * mbit},
 		{"f20", "IN", "M1", 18.1 * mbit},
 	}
-	return buildApp(g, "wifi-tx", placement, flows)
 }

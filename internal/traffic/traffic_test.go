@@ -1,6 +1,7 @@
 package traffic
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -11,9 +12,21 @@ import (
 
 func mesh8() *topology.Mesh { return topology.NewMesh(8, 8) }
 
+// mustFlows unwraps a synthetic-pattern result in tests whose topologies
+// are known-good.
+func mustFlows(t *testing.T) func([]flowgraph.Flow, error) []flowgraph.Flow {
+	return func(flows []flowgraph.Flow, err error) []flowgraph.Flow {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return flows
+	}
+}
+
 func TestTransposePattern(t *testing.T) {
 	m := mesh8()
-	flows := Transpose(m, 25)
+	flows := mustFlows(t)(Transpose(m, 25))
 	// 64 nodes minus the 8 diagonal self-pairs.
 	if len(flows) != 56 {
 		t.Fatalf("transpose flow count = %d, want 56", len(flows))
@@ -32,7 +45,7 @@ func TestTransposePattern(t *testing.T) {
 
 func TestBitComplementPattern(t *testing.T) {
 	m := mesh8()
-	flows := BitComplement(m, 25)
+	flows := mustFlows(t)(BitComplement(m, 25))
 	if len(flows) != 64 {
 		t.Fatalf("bit-complement flow count = %d, want 64 (no fixed points)", len(flows))
 	}
@@ -47,7 +60,7 @@ func TestBitComplementPattern(t *testing.T) {
 
 func TestShufflePattern(t *testing.T) {
 	m := mesh8()
-	flows := Shuffle(m, 25)
+	flows := mustFlows(t)(Shuffle(m, 25))
 	// Fixed points of rotate-left on 6 bits: 000000 and 111111.
 	if len(flows) != 62 {
 		t.Fatalf("shuffle flow count = %d, want 62", len(flows))
@@ -63,10 +76,10 @@ func TestShufflePattern(t *testing.T) {
 
 func TestPatternsArePermutationLike(t *testing.T) {
 	m := mesh8()
-	for _, gen := range []func(topology.Grid, float64) []flowgraph.Flow{
+	for _, gen := range []func(topology.Topology, float64) ([]flowgraph.Flow, error){
 		Transpose, BitComplement, Shuffle,
 	} {
-		flows := gen(m, 1)
+		flows := mustFlows(t)(gen(m, 1))
 		srcSeen := map[topology.NodeID]bool{}
 		dstSeen := map[topology.NodeID]bool{}
 		for _, f := range flows {
@@ -83,21 +96,109 @@ func TestPatternsArePermutationLike(t *testing.T) {
 }
 
 func TestSyntheticRequiresPowerOfTwo(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("non-power-of-two mesh accepted")
+	for _, gen := range []func(topology.Topology, float64) ([]flowgraph.Flow, error){
+		Transpose, BitComplement, Shuffle,
+	} {
+		_, err := gen(topology.NewMesh(3, 3), 1)
+		var npot *NonPowerOfTwoError
+		if !errors.As(err, &npot) {
+			t.Fatalf("9-node mesh: got %v, want *NonPowerOfTwoError", err)
 		}
-	}()
-	Transpose(topology.NewMesh(3, 3), 1)
+		if npot.Nodes != 9 {
+			t.Errorf("error reports %d nodes, want 9", npot.Nodes)
+		}
+	}
+	// The typed error also fires on non-grid topologies.
+	if _, err := Shuffle(topology.NewRing(12), 1); err == nil {
+		t.Error("12-node ring accepted for a bit pattern")
+	}
 }
 
 func TestTransposeRequiresEvenBits(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("odd address width accepted for transpose")
+	_, err := Transpose(topology.NewMesh(8, 4), 1) // 32 nodes, 5 bits
+	var oaw *OddAddressWidthError
+	if !errors.As(err, &oaw) {
+		t.Fatalf("got %v, want *OddAddressWidthError", err)
+	}
+	if oaw.Nodes != 32 || oaw.Bits != 5 {
+		t.Errorf("error reports %d nodes / %d bits, want 32 / 5", oaw.Nodes, oaw.Bits)
+	}
+}
+
+func TestRandomPermutationAnyTopology(t *testing.T) {
+	topos := []topology.Topology{
+		topology.NewMesh(8, 8), topology.NewRing(7), topology.NewFullMesh(5),
+		topology.NewFoldedClos(3, 6),
+	}
+	for _, topo := range topos {
+		flows := RandomPermutation(topo, 10, 4)
+		if len(flows) != topo.NumNodes() {
+			t.Fatalf("%d flows on %d nodes", len(flows), topo.NumNodes())
 		}
-	}()
-	Transpose(topology.NewMesh(8, 4), 1) // 32 nodes, 5 bits
+		srcSeen := map[topology.NodeID]bool{}
+		dstSeen := map[topology.NodeID]bool{}
+		for _, f := range flows {
+			if f.Src == f.Dst {
+				t.Fatal("self flow emitted")
+			}
+			if srcSeen[f.Src] || dstSeen[f.Dst] {
+				t.Fatal("not a permutation")
+			}
+			srcSeen[f.Src], dstSeen[f.Dst] = true, true
+			if f.Demand != 10 {
+				t.Fatalf("demand %g", f.Demand)
+			}
+		}
+	}
+}
+
+func TestRandomPermutationDeterministicPerSeed(t *testing.T) {
+	topo := topology.NewRing(9)
+	a := RandomPermutation(topo, 1, 3)
+	b := RandomPermutation(topo, 1, 3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed differs")
+		}
+	}
+	c := RandomPermutation(topo, 1, 4)
+	same := true
+	for i := range a {
+		if a[i].Dst != c[i].Dst {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 3 and 4 produced the same permutation")
+	}
+}
+
+func TestPlacedAppOnIrregularTopology(t *testing.T) {
+	ring := topology.NewRing(8)
+	placement := map[string]topology.NodeID{
+		"Fetch": 0, "Imem": 1, "Decode": 2, "Dmem": 3, "RegFile": 4, "Execute": 5,
+	}
+	app, err := PlacedApp(ring, "perfmodel", placement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkApp(t, app, 11, 62.73)
+	if _, err := PlacedApp(ring, "nonsense", placement); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if _, err := PlacedApp(ring, "perfmodel", map[string]topology.NodeID{"Fetch": 99}); err == nil {
+		t.Error("out-of-range placement accepted")
+	}
+	if _, err := PlacedApp(ring, "perfmodel", map[string]topology.NodeID{"Fetch": 0}); err == nil {
+		t.Error("incomplete placement accepted")
+	}
+	clash := map[string]topology.NodeID{
+		"Fetch": 0, "Imem": 0, "Decode": 2, "Dmem": 3, "RegFile": 4, "Execute": 5,
+	}
+	if _, err := PlacedApp(ring, "perfmodel", clash); err == nil {
+		t.Error("clashing placement accepted")
+	}
 }
 
 func checkApp(t *testing.T, app *App, wantFlows int, wantMax float64) {
@@ -245,7 +346,7 @@ func TestMMPDeterministicPerSeed(t *testing.T) {
 
 func TestVaryFlows(t *testing.T) {
 	m := mesh8()
-	flows := Transpose(m, 25)
+	flows := mustFlows(t)(Transpose(m, 25))
 	varied := VaryFlows(flows, 0.5, 9)
 	if len(varied) != len(flows) {
 		t.Fatal("length changed")

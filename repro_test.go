@@ -15,7 +15,10 @@ import (
 // and checks the headline reproduction facts hold end to end.
 func TestSmokePipeline(t *testing.T) {
 	m := topology.NewMesh(8, 8)
-	flows := traffic.Transpose(m, traffic.DefaultSyntheticDemand)
+	flows, err := traffic.Transpose(m, traffic.DefaultSyntheticDemand)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	bsor, ex, err := core.Best(m, flows, core.Config{VCs: 2})
 	if err != nil {
