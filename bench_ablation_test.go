@@ -126,7 +126,11 @@ func BenchmarkAblationWeightM(b *testing.B) {
 // demands are highly skewed).
 func BenchmarkAblationFlowOrder(b *testing.B) {
 	m := topology.NewMesh(8, 8)
-	flows := traffic.H264Decoder(m).Flows
+	app, err := traffic.H264Decoder(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	flows := app.Flows
 	dag := cdg.TurnBreaker{Rule: cdg.NegativeFirstRule(topology.West, topology.North)}.
 		Break(cdg.NewFull(m, 2))
 	g := flowgraph.New(dag, flows, 4*120.4)

@@ -1,0 +1,59 @@
+// Package bsor is the public façade of this repository: the one supported
+// entry point for synthesizing bandwidth-sensitive, deadlock-free
+// oblivious routes (the BSOR framework of "Application-Aware
+// Deadlock-Free Oblivious Routing", Kinsy et al.) and simulating them on
+// a cycle-accurate wormhole network model.
+//
+// Everything underneath — topologies, channel dependence graphs, the
+// LP/MILP solver, route selectors, the simulator, the concurrent sweep
+// engine — lives in internal packages; callers describe work
+// declaratively and never import them.
+//
+// # Specs
+//
+// A Spec declares one experiment unit: a topology, a workload, a routing
+// algorithm, virtual channels, and optionally a simulation sweep. Specs
+// are plain data and round-trip through JSON, so job descriptions can be
+// stored, diffed, and shipped:
+//
+//	spec := bsor.Spec{
+//		Topo:     bsor.Mesh(8, 8),
+//		Workload: "transpose",
+//		Algorithm: "BSOR-Dijkstra",
+//		VCs:      2,
+//	}
+//
+// Topologies, workloads, algorithms, and CDG cycle-breaking strategies
+// are all named; the registries (Algorithms, Workloads, DefaultBreakers)
+// enumerate the valid names, and RegisterWorkload adds caller-defined
+// flow sets.
+//
+// # Pipelines
+//
+// A Pipeline executes a list of Specs on a worker pool with memoized
+// route synthesis, streaming one Result per unit of work as it
+// completes:
+//
+//	p, err := bsor.NewPipeline(specs, bsor.WithWorkers(8))
+//	results, err := p.Run(ctx)
+//	for res := range results { ... }
+//
+// Run returns a channel; RunAll blocks and returns results in spec
+// order. Cancelling ctx stops the pipeline within one job boundary: no
+// new job starts, in-flight synthesis and simulation return at their
+// next internal poll point, and RunAll surfaces ctx.Err().
+//
+// # Synthesis without simulation
+//
+// Synthesize returns the selected route set itself (with per-flow hop
+// dumps, a load heatmap, and an independent deadlock-freedom check);
+// Explore reports the maximum channel load under every explored acyclic
+// CDG, one entry per cycle-breaking strategy.
+//
+// # Errors
+//
+// Failures at the API boundary are typed: spec mistakes are *SpecError,
+// infeasible syntheses match ErrInfeasible, grid-only algorithms or
+// workloads on non-grid topologies match ErrNotGrid (all via errors.Is /
+// errors.As), and context cancellation surfaces as ctx.Err().
+package bsor

@@ -1,0 +1,84 @@
+package bsor
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/route"
+	"repro/internal/traffic"
+)
+
+// ErrInfeasible reports that route synthesis found no deadlock-free
+// route set: no explored acyclic channel dependence graph admitted a
+// conforming path for every flow (e.g. every breaker disconnects some
+// flow, or hop budgets are too tight). Test with errors.Is.
+var ErrInfeasible = errors.New("bsor: route synthesis infeasible")
+
+// ErrNotGrid reports that a grid-only routing algorithm (XY, YX, ROMM,
+// Valiant, O1TURN) or a profiled application workload with fixed grid
+// placements was asked to run on a topology without grid coordinates.
+// Use SP or a BSOR variant, or a synthetic workload, on general graphs.
+// Test with errors.Is.
+var ErrNotGrid = errors.New("bsor: grid-only algorithm or workload on a non-grid topology")
+
+// SpecError reports an invalid Spec: an unknown name, a malformed field,
+// or a combination the pipeline cannot execute. It wraps the underlying
+// typed error (when one exists) for errors.As.
+type SpecError struct {
+	// Spec labels the offending spec (its Name, or a positional label
+	// like "spec[3]"); empty when the error predates spec identity.
+	Spec string
+	// Field names the offending Spec field, lowercase ("workload",
+	// "algorithm", "topo", "breakers", "sim", "vcs", "demand", ...).
+	Field string
+	// Reason says what is wrong with it.
+	Reason string
+
+	cause error
+}
+
+func (e *SpecError) Error() string {
+	label := "bsor: spec"
+	if e.Spec != "" {
+		label = "bsor: spec " + e.Spec
+	}
+	if e.Field != "" {
+		return fmt.Sprintf("%s: %s: %s", label, e.Field, e.Reason)
+	}
+	return fmt.Sprintf("%s: %s", label, e.Reason)
+}
+
+// Unwrap exposes the underlying typed error, when there is one.
+func (e *SpecError) Unwrap() error { return e.cause }
+
+// classify maps internal errors to the façade's sentinels without losing
+// the original chain: errors.Is matches the sentinel, errors.As still
+// reaches the internal typed error. Context errors pass through
+// untouched so errors.Is(err, context.Canceled) keeps working.
+func classify(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	var (
+		notGrid      *route.NotGridError
+		gridWorkload *experiments.GridWorkloadError
+		placement    *traffic.PlacementError
+	)
+	switch {
+	case errors.Is(err, core.ErrInfeasible):
+		return fmt.Errorf("%w: %w", ErrInfeasible, err)
+	case errors.As(err, &notGrid), errors.As(err, &gridWorkload):
+		return fmt.Errorf("%w: %w", ErrNotGrid, err)
+	case errors.As(err, &placement):
+		// A placement that does not fit the declared grid is a spec
+		// mistake (workload x topology), not a synthesis failure.
+		return &SpecError{Field: "workload", Reason: err.Error(), cause: err}
+	}
+	return err
+}

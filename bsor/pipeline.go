@@ -1,0 +1,280 @@
+package bsor
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/experiments"
+	"repro/internal/route"
+)
+
+// MILPBudget tunes the BSOR-MILP selector's effort: candidate-path
+// enumeration and branch-and-bound limits. The zero value of a field
+// means its published default.
+type MILPBudget struct {
+	// HopSlack is the extra hop budget over each flow's minimal path
+	// length (the thesis recommends increments of 2).
+	HopSlack int
+	// MaxPathsPerFlow truncates exhaustive candidate enumeration.
+	MaxPathsPerFlow int
+	// Refinements is the number of bottleneck-driven candidate
+	// regeneration rounds after the first solve.
+	Refinements int
+	// MaxNodes caps branch-and-bound nodes per solve.
+	MaxNodes int
+	// Gap is the absolute optimality gap accepted by branch and bound.
+	Gap float64
+	// Workers sizes the candidate-enumeration worker pool; 0 means
+	// GOMAXPROCS. Results are deterministic for any value.
+	Workers int
+}
+
+// DefaultMILPBudget is the published-quality effort of the evaluation.
+func DefaultMILPBudget() MILPBudget {
+	return MILPBudget{HopSlack: 2, MaxPathsPerFlow: 16, Refinements: 3, MaxNodes: 120, Gap: 0.01}
+}
+
+// FastMILPBudget is a reduced smoke-run budget: it exercises every MILP
+// code path in seconds but does not reproduce the published MCL values.
+func FastMILPBudget() MILPBudget {
+	return MILPBudget{HopSlack: 2, MaxPathsPerFlow: 8, Refinements: 2, MaxNodes: 40, Gap: 0.01}
+}
+
+func (b MILPBudget) selector() route.Selector {
+	d := DefaultMILPBudget()
+	if b.HopSlack == 0 {
+		b.HopSlack = d.HopSlack
+	}
+	if b.MaxPathsPerFlow == 0 {
+		b.MaxPathsPerFlow = d.MaxPathsPerFlow
+	}
+	if b.Refinements == 0 {
+		b.Refinements = d.Refinements
+	}
+	if b.MaxNodes == 0 {
+		b.MaxNodes = d.MaxNodes
+	}
+	if b.Gap == 0 {
+		b.Gap = d.Gap
+	}
+	return route.MILPSelector{
+		HopSlack: b.HopSlack, MaxPathsPerFlow: b.MaxPathsPerFlow,
+		Refinements: b.Refinements, MaxNodes: b.MaxNodes, Gap: b.Gap,
+		Workers: b.Workers,
+	}
+}
+
+// config carries the pipeline options.
+type config struct {
+	workers   int
+	progress  func(done, total int)
+	algorithm string
+	breakers  []string
+	milp      MILPBudget
+	milpSet   bool
+	sim       SimSpec
+}
+
+func defaultConfig() config {
+	return config{algorithm: "BSOR-Dijkstra"}
+}
+
+// Option configures a Pipeline (and Synthesize/Explore, which accept the
+// subset that applies to a single synthesis).
+type Option func(*config)
+
+// WithWorkers sizes the job worker pool; 0 (the default) means NumCPU.
+// Results are deterministic for any worker count.
+func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
+
+// WithProgress installs a progress callback invoked after each completed
+// unit of work with the running and total counts. Calls are serialized.
+func WithProgress(fn func(done, total int)) Option {
+	return func(c *config) { c.progress = fn }
+}
+
+// WithSelector sets the default algorithm for specs that leave Algorithm
+// empty (the package default is BSOR-Dijkstra). The name is validated at
+// NewPipeline.
+func WithSelector(name string) Option {
+	return func(c *config) { c.algorithm = name }
+}
+
+// WithBreakers sets the default breaker exploration set for BSOR specs
+// that leave Breakers empty, replacing the per-topology defaults.
+func WithBreakers(names ...string) Option {
+	return func(c *config) { c.breakers = names }
+}
+
+// WithMILPBudget tunes the BSOR-MILP selector for every spec in the
+// pipeline (see MILPBudget; FastMILPBudget for smoke runs).
+func WithMILPBudget(b MILPBudget) Option {
+	return func(c *config) { c.milp = b; c.milpSet = true }
+}
+
+// WithSimDefaults supplies the warmup/measure/seed values that sim specs
+// leaving those fields zero expand to, replacing the thesis defaults —
+// the idiomatic way to run a whole pipeline in smoke mode.
+func WithSimDefaults(d SimSpec) Option {
+	return func(c *config) { c.sim = d }
+}
+
+// Pipeline executes a validated list of Specs on a concurrent engine
+// with memoized route synthesis: every unique (topology, workload,
+// algorithm, VCs, breakers) combination is synthesized once and shared
+// by all simulation points that reuse it. Construct with NewPipeline;
+// a Pipeline may run any number of times and keeps its synthesis cache
+// across runs.
+type Pipeline struct {
+	specs []Spec // defaulted
+	cfg   config
+
+	jobs   []experiments.Job
+	specOf []int // job index -> spec index
+
+	runnerOnce sync.Once
+	runner     *experiments.Runner
+}
+
+// NewPipeline validates specs, resolves the options' defaults into them,
+// and returns a Pipeline ready to Run. Invalid specs yield a *SpecError.
+func NewPipeline(specs []Spec, opts ...Option) (*Pipeline, error) {
+	cfg := defaultConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	canonical, err := NormalizeAlgorithm(cfg.algorithm)
+	if err != nil {
+		return nil, err
+	}
+	cfg.algorithm = canonical
+	for _, b := range cfg.breakers {
+		if !KnownBreaker(b) {
+			return nil, &SpecError{Field: "breakers", Reason: fmt.Sprintf("unknown breaker %q", b)}
+		}
+	}
+	if len(specs) == 0 {
+		return nil, &SpecError{Reason: "at least one spec is required"}
+	}
+	p := &Pipeline{cfg: cfg}
+	for i, s := range specs {
+		// Validate the spec *after* resolving the pipeline defaults, so
+		// constraints that depend on the effective algorithm (Explore and
+		// Breakers require a BSOR variant) hold against what will actually
+		// run — e.g. WithSelector("XY") plus an Explore spec must be
+		// rejected, not expanded into per-breaker XY rows. Raw-name errors
+		// are still caught: withDefaults leaves unknown names untouched.
+		label := fmt.Sprintf("%s[%d]", orSpec(s.Name), i)
+		s = s.withDefaults(cfg)
+		if err := s.validate(label); err != nil {
+			return nil, err
+		}
+		p.specs = append(p.specs, s)
+		for _, j := range s.jobs(fmt.Sprintf("spec%d", i)) {
+			p.jobs = append(p.jobs, j)
+			p.specOf = append(p.specOf, i)
+		}
+	}
+	return p, nil
+}
+
+func orSpec(name string) string {
+	if name == "" {
+		return "spec"
+	}
+	return name
+}
+
+// NumJobs reports the total units of work the pipeline will execute —
+// the denominator WithProgress callbacks see.
+func (p *Pipeline) NumJobs() int { return len(p.jobs) }
+
+// runner builds an engine runner honoring the options: the workload
+// registry hook, the MILP budget, and — so WithWorkers bounds total
+// parallelism, not just the job pool — the candidate-enumeration worker
+// counts of the selectors that fan out internally.
+func (c config) runner() *experiments.Runner {
+	r := &experiments.Runner{
+		Workers:    c.workers,
+		WorkloadFn: registryHook,
+	}
+	if c.milpSet || c.workers > 0 {
+		milp := c.milp
+		if milp.Workers == 0 {
+			milp.Workers = c.workers
+		}
+		r.MILP = milp.selector()
+	}
+	if c.workers > 0 {
+		r.Heuristic = route.BSORHeuristic{HopSlack: 2, MaxPathsPerFlow: 32, Workers: c.workers}
+	}
+	return r
+}
+
+// ensureRunner builds the shared engine runner on first use.
+func (p *Pipeline) ensureRunner() *experiments.Runner {
+	p.runnerOnce.Do(func() { p.runner = p.cfg.runner() })
+	return p.runner
+}
+
+// Run starts the pipeline and returns a channel streaming one Result per
+// unit of work as it completes (completion order depends on scheduling;
+// the results' values do not). The channel closes when all work is done
+// or, after cancellation, once the in-flight jobs finish — within one
+// job boundary. After cancellation consult ctx.Err(); undelivered
+// results are dropped.
+func (p *Pipeline) Run(ctx context.Context) (<-chan Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	r := p.ensureRunner()
+	out := make(chan Result)
+	jobs := p.jobs
+	total := len(jobs)
+	done := 0
+	go func() {
+		defer close(out)
+		_ = r.Stream(ctx, jobs, func(i int, res experiments.Result) {
+			specIdx := p.specOf[i]
+			converted := fromEngine(specIdx, p.specs[specIdx], res)
+			select {
+			case out <- converted:
+			case <-ctx.Done():
+			}
+			done++
+			if p.cfg.progress != nil {
+				p.cfg.progress(done, total)
+			}
+		})
+	}()
+	return out, nil
+}
+
+// RunAll executes the pipeline to completion and returns results in job
+// order (spec order, then breaker or rate order within a spec). On
+// cancellation it returns the results completed so far plus ctx.Err().
+func (p *Pipeline) RunAll(ctx context.Context) ([]Result, error) {
+	r := p.ensureRunner()
+	jobs := p.jobs
+	total := len(jobs)
+	results := make([]Result, 0, total)
+	filled := make([]bool, total)
+	raw := make([]experiments.Result, total)
+	done := 0
+	err := r.Stream(ctx, jobs, func(i int, res experiments.Result) {
+		raw[i], filled[i] = res, true
+		done++
+		if p.cfg.progress != nil {
+			p.cfg.progress(done, total)
+		}
+	})
+	for i := range raw {
+		if !filled[i] {
+			continue // cancelled before this job started
+		}
+		specIdx := p.specOf[i]
+		results = append(results, fromEngine(specIdx, p.specs[specIdx], raw[i]))
+	}
+	return results, err
+}

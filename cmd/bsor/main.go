@@ -1,66 +1,60 @@
 // Command bsor computes bandwidth-sensitive oblivious routes for a
 // workload, exploring acyclic channel dependence graphs and reporting the
 // maximum channel load found under each, plus the selected route set.
+// It is a thin client of the public repro/bsor façade.
 //
 // Examples:
 //
 //	bsor -workload transpose -selector dijkstra
 //	bsor -workload h264 -selector milp -vcs 4 -v
+//	bsor -topo torus -workload shuffle
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
-	"repro/internal/core"
-	"repro/internal/flowgraph"
-	"repro/internal/route"
-	"repro/internal/topology"
-	"repro/internal/traffic"
-	"repro/internal/viz"
+	"repro/bsor"
 )
 
 func main() {
 	var (
-		width    = flag.Int("width", 8, "mesh width")
-		height   = flag.Int("height", 8, "mesh height")
-		vcs      = flag.Int("vcs", 2, "virtual channels per link")
-		workload = flag.String("workload", "transpose",
-			"transpose | bit-complement | shuffle | h264 | perf-modeling | transmitter")
-		selector = flag.String("selector", "dijkstra", "dijkstra | milp")
-		demand   = flag.Float64("demand", traffic.DefaultSyntheticDemand,
-			"per-flow demand for synthetic workloads (MB/s)")
+		sf       = bsor.RegisterFlags(flag.CommandLine)
+		selector = flag.String("selector", "dijkstra", "dijkstra | milp | heuristic")
 		capacity = flag.Float64("capacity", 0, "channel capacity (0 = 4x max demand)")
 		verbose  = flag.Bool("v", false, "print every route")
 	)
 	flag.Parse()
 
-	m := topology.NewMesh(*width, *height)
-	flows, err := workloadFlows(m, *workload, *demand)
+	spec, err := sf.ParseSpec()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(err)
 	}
-
-	var sel route.Selector
+	spec.Capacity = *capacity
 	switch *selector {
 	case "dijkstra":
-		sel = route.DijkstraSelector{}
+		spec.Algorithm = "BSOR-Dijkstra"
 	case "milp":
-		sel = route.MILPSelector{HopSlack: 2, MaxPathsPerFlow: 16, Refinements: 3, MaxNodes: 120, Gap: 0.01}
+		spec.Algorithm = "BSOR-MILP"
+	case "heuristic":
+		spec.Algorithm = "BSOR-Heuristic"
 	default:
-		fmt.Fprintf(os.Stderr, "unknown selector %q\n", *selector)
-		os.Exit(1)
+		fatal(fmt.Errorf("unknown selector %q (want dijkstra, milp, or heuristic)", *selector))
 	}
 
-	cfg := core.Config{VCs: *vcs, Selector: sel, ChannelCapacity: *capacity}
-	fmt.Printf("workload %s: %d flows on %dx%d mesh, %d VCs, selector %s\n\n",
-		*workload, len(flows), *width, *height, *vcs, sel.Name())
+	ctx := context.Background()
+	fmt.Printf("workload %s on %s, %d VCs, algorithm %s\n\n",
+		spec.Workload, spec.Topo, spec.VCs, spec.Algorithm)
 
 	fmt.Println("acyclic CDG exploration (MCL in MB/s):")
-	for _, ex := range core.Explore(m, flows, cfg) {
+	explored, err := bsor.Explore(ctx, spec)
+	if err != nil {
+		fatal(err)
+	}
+	for _, ex := range explored {
 		if ex.Err != nil {
 			fmt.Printf("  %-28s failed: %v\n", ex.Breaker, ex.Err)
 			continue
@@ -68,48 +62,32 @@ func main() {
 		fmt.Printf("  %-28s MCL %8.2f   avg hops %.2f\n", ex.Breaker, ex.MCL, ex.AvgHops)
 	}
 
-	set, best, err := core.Best(m, flows, cfg)
+	set, err := bsor.Synthesize(ctx, spec)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(err)
 	}
-	mcl, ch := set.MCL()
 	fmt.Printf("\nbest: %s with MCL %.2f MB/s (bottleneck %s), avg hops %.2f\n",
-		best.Breaker, mcl, m.ChannelName(ch), set.AvgHops())
-	if err := set.DeadlockFree(*vcs); err != nil {
+		set.Breaker(), set.MCL(), set.Bottleneck(), set.AvgHops())
+	if err := set.VerifyDeadlockFree(); err != nil {
 		fmt.Fprintln(os.Stderr, "internal error:", err)
 		os.Exit(1)
 	}
 	fmt.Println("deadlock freedom: verified (acyclic used-dependence graph)")
-	fmt.Println()
-	fmt.Print(viz.LoadHeatmap(m, set.Loads()))
+	if hm := set.Heatmap(); hm != "" {
+		fmt.Println()
+		fmt.Print(hm)
+	}
 
 	if *verbose {
 		fmt.Println("\nroutes:")
-		for _, r := range set.Routes {
-			var hops []string
-			for i, chid := range r.Channels {
-				hops = append(hops, fmt.Sprintf("%s/vc%d", m.ChannelName(chid), r.VCs[i]))
-			}
-			fmt.Printf("  %-18s %7.2f MB/s  %s\n", r.Flow.Name, r.Flow.Demand, strings.Join(hops, " "))
+		for _, r := range set.Routes() {
+			fmt.Printf("  %-18s %7.2f MB/s  %s\n",
+				r.Flow.Name, r.Flow.Demand, strings.Join(r.Hops, " "))
 		}
 	}
 }
 
-func workloadFlows(m *topology.Mesh, name string, demand float64) ([]flowgraph.Flow, error) {
-	switch name {
-	case "transpose":
-		return traffic.Transpose(m, demand)
-	case "bit-complement":
-		return traffic.BitComplement(m, demand)
-	case "shuffle":
-		return traffic.Shuffle(m, demand)
-	case "h264":
-		return traffic.H264Decoder(m).Flows, nil
-	case "perf-modeling":
-		return traffic.PerfModeling(m).Flows, nil
-	case "transmitter":
-		return traffic.Transmitter80211(m).Flows, nil
-	}
-	return nil, fmt.Errorf("unknown workload %q", name)
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
 }

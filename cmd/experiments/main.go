@@ -43,8 +43,6 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
-	"repro/internal/route"
-	"repro/internal/traffic"
 	"repro/internal/viz"
 )
 
@@ -63,9 +61,9 @@ var (
 	memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 )
 
-func milpSelector() route.Selector {
+func milpSelector() experiments.Selector {
 	if *fast {
-		return route.MILPSelector{HopSlack: 2, MaxPathsPerFlow: 8, Refinements: 2, MaxNodes: 40, Gap: 0.01}
+		return experiments.FastMILP()
 	}
 	return experiments.DefaultMILP()
 }
@@ -519,7 +517,7 @@ func printSeries(series []experiments.Series) {
 }
 
 func runTrace() {
-	trace := experiments.InjectionTrace(traffic.DefaultSyntheticDemand, 0.25, 2000, 52)
+	trace := experiments.InjectionTrace(experiments.DefaultDemand, 0.25, 2000, 52)
 	for i := 0; i < len(trace); i += 100 {
 		fmt.Printf("  cycle %5d: %6.2f MB/s\n", i, trace[i])
 	}

@@ -1,5 +1,6 @@
 // Command nocsim runs one cycle-accurate simulation of a workload under a
-// routing algorithm and prints throughput and latency.
+// routing algorithm and prints throughput and latency. It is a thin
+// client of the public repro/bsor façade.
 //
 // Example:
 //
@@ -7,26 +8,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
-	"repro/internal/core"
-	"repro/internal/flowgraph"
-	"repro/internal/route"
-	"repro/internal/sim"
-	"repro/internal/topology"
-	"repro/internal/traffic"
+	"repro/bsor"
 )
 
 func main() {
 	var (
-		width    = flag.Int("width", 8, "mesh width")
-		height   = flag.Int("height", 8, "mesh height")
-		vcs      = flag.Int("vcs", 2, "virtual channels per link")
-		workload = flag.String("workload", "transpose",
-			"transpose | bit-complement | shuffle | h264 | perf-modeling | transmitter")
-		alg     = flag.String("alg", "bsor-dijkstra", "xy | yx | romm | valiant | o1turn | bsor-dijkstra | bsor-milp")
+		sf      = bsor.RegisterFlags(flag.CommandLine)
+		alg     = flag.String("alg", "bsor-dijkstra", "xy | yx | romm | valiant | o1turn | sp | bsor-dijkstra | bsor-milp | bsor-heuristic")
 		rate    = flag.Float64("rate", 20, "offered injection rate, packets/cycle network-wide")
 		warmup  = flag.Int64("warmup", 20000, "warmup cycles")
 		measure = flag.Int64("measure", 100000, "measured cycles")
@@ -34,83 +27,42 @@ func main() {
 	)
 	flag.Parse()
 
-	m := topology.NewMesh(*width, *height)
-	flows, err := workloadFlows(m, *workload)
+	spec, err := sf.ParseSpec()
 	if err != nil {
 		fatal(err)
 	}
-	a, dynamic, err := algorithm(*alg, *vcs)
+	spec.Algorithm, err = bsor.NormalizeAlgorithm(*alg)
 	if err != nil {
 		fatal(err)
 	}
-	set, err := a.Routes(m, flows)
-	if err != nil {
-		fatal(err)
+	spec.Sim = &bsor.SimSpec{
+		Rates: []float64{*rate}, Warmup: *warmup, Measure: *measure, Seed: *seed,
 	}
-	mcl, _ := set.MCL()
-	fmt.Printf("%s on %s: MCL %.2f MB/s, avg hops %.2f\n", a.Name(), *workload, mcl, set.AvgHops())
 
-	s, err := sim.New(sim.Config{
-		Mesh: m, Routes: set, VCs: *vcs, DynamicVC: dynamic,
-		OfferedRate: *rate, WarmupCycles: *warmup, MeasureCycles: *measure, Seed: *seed,
-	})
+	p, err := bsor.NewPipeline([]bsor.Spec{spec})
 	if err != nil {
 		fatal(err)
 	}
-	res, err := s.Run()
+	results, err := p.RunAll(context.Background())
 	if err != nil {
 		fatal(err)
 	}
-	if res.Deadlocked {
+	res := results[0]
+	if res.Err != nil {
+		fatal(res.Err)
+	}
+	fmt.Printf("%s on %s: MCL %.2f MB/s, avg hops %.2f\n",
+		res.Algorithm, spec.Workload, res.MCL, res.AvgHops)
+	pt := res.Point
+	if pt.Deadlocked {
 		fmt.Println("DEADLOCK detected by watchdog")
 		os.Exit(2)
 	}
-	fmt.Printf("offered %.2f pkt/cycle -> throughput %.4f pkt/cycle\n", *rate, res.Throughput)
+	fmt.Printf("offered %.2f pkt/cycle -> throughput %.4f pkt/cycle\n", pt.Offered, pt.Throughput)
 	fmt.Printf("avg network latency %.2f cycles (incl. source queue: %.2f)\n",
-		res.AvgLatency, res.AvgTotalLatency)
+		pt.AvgLatency, pt.AvgTotalLatency)
 	fmt.Printf("injected %d, delivered %d over %d measured cycles\n",
-		res.PacketsInjected, res.PacketsDelivered, *measure)
-}
-
-func algorithm(name string, vcs int) (route.Algorithm, bool, error) {
-	switch name {
-	case "xy":
-		return route.XY{}, true, nil
-	case "yx":
-		return route.YX{}, true, nil
-	case "romm":
-		return route.ROMM{Seed: 1}, false, nil
-	case "valiant":
-		return route.Valiant{Seed: 1}, false, nil
-	case "o1turn":
-		return route.O1TURN{Seed: 1}, false, nil
-	case "bsor-dijkstra":
-		return core.BSOR{Label: "BSOR-Dijkstra", Config: core.Config{VCs: vcs}}, false, nil
-	case "bsor-milp":
-		return core.BSOR{Label: "BSOR-MILP", Config: core.Config{
-			VCs:      vcs,
-			Selector: route.MILPSelector{HopSlack: 2, MaxPathsPerFlow: 16, Refinements: 3, MaxNodes: 120, Gap: 0.01},
-		}}, false, nil
-	}
-	return nil, false, fmt.Errorf("unknown algorithm %q", name)
-}
-
-func workloadFlows(m *topology.Mesh, name string) ([]flowgraph.Flow, error) {
-	switch name {
-	case "transpose":
-		return traffic.Transpose(m, traffic.DefaultSyntheticDemand)
-	case "bit-complement":
-		return traffic.BitComplement(m, traffic.DefaultSyntheticDemand)
-	case "shuffle":
-		return traffic.Shuffle(m, traffic.DefaultSyntheticDemand)
-	case "h264":
-		return traffic.H264Decoder(m).Flows, nil
-	case "perf-modeling":
-		return traffic.PerfModeling(m).Flows, nil
-	case "transmitter":
-		return traffic.Transmitter80211(m).Flows, nil
-	}
-	return nil, fmt.Errorf("unknown workload %q", name)
+		pt.Injected, pt.Delivered, *measure)
 }
 
 func fatal(err error) {

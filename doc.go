@@ -9,6 +9,12 @@
 // evaluation workloads, and a cycle-accurate wormhole virtual-channel
 // network simulator.
 //
+// The public entry point is the bsor package (import "repro/bsor"):
+// declarative JSON-round-trippable Specs, a context-aware streaming
+// Pipeline, typed errors, and name-based registries for algorithms,
+// workloads, and CDG breakers. Everything else lives under internal/;
+// the cmd tools and examples are thin clients of the façade.
+//
 // See README.md for a tour, DESIGN.md for the system inventory and
 // experiment index, and EXPERIMENTS.md for paper-versus-measured results.
 // The evaluation runs on the concurrent sweep engine of

@@ -19,7 +19,10 @@ import (
 
 func main() {
 	m := topology.NewMesh(8, 8)
-	app := traffic.H264Decoder(m)
+	app, err := traffic.H264Decoder(m)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("H.264 decoder: %d modules, %d flows, heaviest %s\n",
 		len(app.Modules), len(app.Flows), "f7 (120.4 MB/s into the memory controller)")
 

@@ -21,7 +21,10 @@ import (
 
 func main() {
 	m := topology.NewMesh(8, 8)
-	app := traffic.PerfModeling(m)
+	app, err := traffic.PerfModeling(m)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("performance modeling: %d modules, %d flows\n\n", len(app.Modules), len(app.Flows))
 
 	// The register-file transfers gate the pipeline: force them minimal.

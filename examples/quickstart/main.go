@@ -1,111 +1,107 @@
-// Quickstart: route three flows on a 4x4 mesh with BSOR, verify deadlock
-// freedom, simulate the result, then degrade the mesh with link faults and
-// synthesize deadlock-free routes on the irregular remainder.
+// Quickstart for the public repro/bsor façade: register a custom
+// workload, route it on a 4x4 mesh with BSOR, verify deadlock freedom,
+// simulate BSOR against XY through a streaming pipeline, then degrade the
+// mesh with link faults and synthesize deadlock-free routes on the
+// irregular remainder.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/cdg"
-	"repro/internal/core"
-	"repro/internal/flowgraph"
-	"repro/internal/route"
-	"repro/internal/sim"
-	"repro/internal/topology"
+	"repro/bsor"
 )
 
 func main() {
-	// 1. A 4x4 mesh and three application flows with estimated bandwidths
-	// (MB/s). Two flows share endpoints, so a dimension-order router
-	// would stack them onto one path.
-	m := topology.NewMesh(4, 4)
-	flows := []flowgraph.Flow{
-		{ID: 0, Name: "dma-a", Src: m.NodeAt(0, 0), Dst: m.NodeAt(3, 3), Demand: 40},
-		{ID: 1, Name: "dma-b", Src: m.NodeAt(0, 0), Dst: m.NodeAt(3, 3), Demand: 40},
-		{ID: 2, Name: "ctrl", Src: m.NodeAt(3, 0), Dst: m.NodeAt(0, 3), Demand: 10},
+	// 1. A custom workload: three flows with estimated bandwidths (MB/s).
+	// Two flows share endpoints, so a dimension-order router would stack
+	// them onto one path. Registered workloads are usable by name in any
+	// Spec, exactly like the built-ins.
+	err := bsor.RegisterWorkload("quickstart", func(t bsor.TopoInfo, demand float64) ([]bsor.Flow, error) {
+		last := t.Nodes - 1
+		return []bsor.Flow{
+			{Name: "dma-a", Src: 0, Dst: last, Demand: 40},
+			{Name: "dma-b", Src: 0, Dst: last, Demand: 40},
+			{Name: "ctrl", Src: 3, Dst: last - 3, Demand: 10},
+		}, nil
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	// 2. BSOR: explore acyclic channel dependence graphs, select routes
 	// minimizing the maximum channel load.
-	set, best, err := core.Best(m, flows, core.Config{VCs: 2})
+	ctx := context.Background()
+	spec := bsor.Spec{Topo: bsor.Mesh(4, 4), Workload: "quickstart", VCs: 2}
+	set, err := bsor.Synthesize(ctx, spec)
 	if err != nil {
 		log.Fatal(err)
 	}
-	mcl, bottleneck := set.MCL()
 	fmt.Printf("BSOR chose CDG %q: MCL %.1f MB/s, bottleneck %s\n",
-		best.Breaker, mcl, m.ChannelName(bottleneck))
-	for _, r := range set.Routes {
-		fmt.Printf("  %-6s %d hops\n", r.Flow.Name, r.Hops())
+		set.Breaker(), set.MCL(), set.Bottleneck())
+	for _, r := range set.Routes() {
+		fmt.Printf("  %-6s %d hops\n", r.Flow.Name, len(r.Hops))
 	}
 
 	// 3. The route set is deadlock free by construction; verify anyway.
-	if err := set.DeadlockFree(2); err != nil {
+	if err := set.VerifyDeadlockFree(); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("deadlock freedom verified")
 
 	// 4. Compare against XY dimension-order routing.
-	xy, err := route.XY{}.Routes(m, flows)
+	xy, err := bsor.Synthesize(ctx, bsor.Spec{
+		Topo: bsor.Mesh(4, 4), Workload: "quickstart", Algorithm: "XY", VCs: 2,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	xyMCL, _ := xy.MCL()
-	fmt.Printf("XY MCL would be %.1f MB/s\n", xyMCL)
+	fmt.Printf("XY MCL would be %.1f MB/s\n", xy.MCL())
 
-	// 5. Simulate both on the cycle-accurate wormhole router model.
-	for _, c := range []struct {
-		name    string
-		set     *route.Set
-		dynamic bool
-	}{{"BSOR", set, false}, {"XY", xy, true}} {
-		s, err := sim.New(sim.Config{
-			Mesh: m, Routes: c.set, VCs: 2, DynamicVC: c.dynamic,
-			OfferedRate:  1.5,
-			WarmupCycles: 2000, MeasureCycles: 20000, Seed: 1,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		res, err := s.Run()
-		if err != nil {
-			log.Fatal(err)
+	// 5. Simulate both on the cycle-accurate wormhole router model, as a
+	// two-spec pipeline streaming results as they complete.
+	sim := &bsor.SimSpec{Rates: []float64{1.5}, Warmup: 2000, Measure: 20000, Seed: 1}
+	p, err := bsor.NewPipeline([]bsor.Spec{
+		{Name: "BSOR", Topo: bsor.Mesh(4, 4), Workload: "quickstart", VCs: 2, Sim: sim},
+		{Name: "XY", Topo: bsor.Mesh(4, 4), Workload: "quickstart", Algorithm: "XY", VCs: 2, Sim: sim},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := p.RunAll(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, res := range results {
+		if res.Err != nil {
+			log.Fatal(res.Err)
 		}
 		fmt.Printf("%-5s throughput %.3f pkt/cycle, avg latency %.1f cycles\n",
-			c.name, res.Throughput, res.AvgLatency)
+			res.Name, res.Point.Throughput, res.Point.AvgLatency)
 	}
 
 	// 6. Degrade the fabric: fail three links (seeded, connectivity
 	// guaranteed) and synthesize deadlock-free routes on what remains.
 	// Dimension-order routing no longer applies — its paths may cross
 	// failed links — so the comparison point is the graph-generic SP
-	// baseline (shortest path over an up*/down*-broken CDG), and BSOR
-	// explores the up*/down* and escape-layered CDGs.
-	faulted, err := topology.Faulted(m, 7, 3)
+	// baseline, and BSOR explores the up*/down* and escape-layered CDGs.
+	faulted := bsor.Spec{Topo: bsor.FaultedMesh(4, 4, 3, 7), Workload: "quickstart", VCs: 2}
+	fset, err := bsor.Synthesize(ctx, faulted)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nfaulted mesh: %d of %d channels survive\n",
-		faulted.NumChannels(), m.NumChannels())
-	fset, fbest, err := core.Best(faulted, flows, core.Config{
-		VCs:      2,
-		Breakers: cdg.GraphBreakers(faulted.NumNodes()),
-	})
+	if err := fset.VerifyDeadlockFree(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nBSOR on the faulted mesh chose CDG %q: MCL %.1f MB/s (deadlock free)\n",
+		fset.Breaker(), fset.MCL())
+	faulted.Algorithm = "SP"
+	sp, err := bsor.Synthesize(ctx, faulted)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := fset.DeadlockFree(2); err != nil {
-		log.Fatal(err)
-	}
-	fmcl, _ := fset.MCL()
-	fmt.Printf("BSOR on the faulted mesh chose CDG %q: MCL %.1f MB/s (deadlock free)\n",
-		fbest.Breaker, fmcl)
-	sp, err := route.ShortestPath{VCs: 2}.Routes(faulted, flows)
-	if err != nil {
-		log.Fatal(err)
-	}
-	spMCL, _ := sp.MCL()
-	fmt.Printf("SP baseline MCL would be %.1f MB/s\n", spMCL)
+	fmt.Printf("SP baseline MCL would be %.1f MB/s\n", sp.MCL())
 }

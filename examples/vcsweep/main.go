@@ -1,48 +1,44 @@
-// VC sweep example (the Figure 6-7 experiment in miniature): transpose
-// traffic simulated with 1, 2, 4 and 8 virtual channels per link, showing
-// the thesis' finding that 2 -> 4 VCs mitigates head-of-line blocking
-// (~40% throughput gain) while 4 -> 8 adds little because link bandwidth
-// becomes the limit.
+// VC sweep example (the Figure 6-7 experiment in miniature), as a
+// repro/bsor pipeline: transpose traffic simulated with 1, 2, 4 and 8
+// virtual channels per link, showing the thesis' finding that 2 -> 4 VCs
+// mitigates head-of-line blocking (~40% throughput gain) while 4 -> 8
+// adds little because link bandwidth becomes the limit.
 //
 //	go run ./examples/vcsweep
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/sim"
-	"repro/internal/topology"
-	"repro/internal/traffic"
+	"repro/bsor"
 )
 
 func main() {
-	m := topology.NewMesh(8, 8)
-	flows, err := traffic.Transpose(m, traffic.DefaultSyntheticDemand)
+	sim := &bsor.SimSpec{Rates: []float64{30}, Warmup: 5000, Measure: 30000, Seed: 3}
+	var specs []bsor.Spec
+	for _, vcs := range []int{1, 2, 4, 8} {
+		specs = append(specs, bsor.Spec{
+			Name: fmt.Sprintf("%d VCs", vcs),
+			Topo: bsor.Mesh(8, 8), Workload: "transpose",
+			Algorithm: "BSOR-Dijkstra", VCs: vcs, Sim: sim,
+		})
+	}
+	p, err := bsor.NewPipeline(specs)
 	if err != nil {
 		log.Fatal(err)
 	}
-
+	results, err := p.RunAll(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("transpose, BSOR-Dijkstra routes, offered rate 30 pkt/cycle:")
-	for _, vcs := range []int{1, 2, 4, 8} {
-		set, best, err := core.Best(m, flows, core.Config{VCs: vcs})
-		if err != nil {
-			log.Fatal(err)
+	for _, res := range results {
+		if res.Err != nil {
+			log.Fatal(res.Err)
 		}
-		mcl, _ := set.MCL()
-		s, err := sim.New(sim.Config{
-			Mesh: m, Routes: set, VCs: vcs, OfferedRate: 30,
-			WarmupCycles: 5000, MeasureCycles: 30000, Seed: 3,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		res, err := s.Run()
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("  %d VCs: MCL %.0f (via %s), throughput %.3f pkt/cyc, latency %.1f cycles\n",
-			vcs, mcl, best.Breaker, res.Throughput, res.AvgLatency)
+		fmt.Printf("  %s: MCL %.0f (via %s), throughput %.3f pkt/cyc, latency %.1f cycles\n",
+			res.Name, res.MCL, res.Breaker, res.Point.Throughput, res.Point.AvgLatency)
 	}
 }

@@ -18,7 +18,10 @@ import (
 
 func main() {
 	m := topology.NewMesh(8, 8)
-	app := traffic.Transmitter80211(m)
+	app, err := traffic.Transmitter80211(m)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("802.11a/g transmitter: %d modules, %d flows (Table 5.2 rates)\n\n",
 		len(app.Modules), len(app.Flows))
 

@@ -12,6 +12,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -20,6 +22,12 @@ import (
 	"repro/internal/route"
 	"repro/internal/topology"
 )
+
+// ErrInfeasible reports that no explored acyclic CDG admitted routes for
+// every flow: the synthesis is infeasible under the given breakers and
+// hop budgets. Best wraps it with the instance details; callers test
+// with errors.Is.
+var ErrInfeasible = errors.New("core: no acyclic CDG admitted routes")
 
 // Config parameterizes one BSOR synthesis run.
 type Config struct {
@@ -79,10 +87,21 @@ type Explored struct {
 // Explore runs the configured selector under every breaker and returns
 // one Explored per breaker, in breaker order.
 func Explore(t topology.Topology, flows []flowgraph.Flow, cfg Config) []Explored {
+	results, _ := ExploreContext(context.Background(), t, flows, cfg)
+	return results
+}
+
+// ExploreContext is Explore with cooperative cancellation: ctx is polled
+// before each breaker (and inside the selectors that support it), and the
+// exploration stops with the breakers completed so far plus ctx.Err().
+func ExploreContext(ctx context.Context, t topology.Topology, flows []flowgraph.Flow, cfg Config) ([]Explored, error) {
 	cfg = cfg.withDefaults(flows)
 	full := cdg.NewFull(t, cfg.VCs)
 	results := make([]Explored, 0, len(cfg.Breakers))
 	for _, b := range cfg.Breakers {
+		if err := ctx.Err(); err != nil {
+			return results, err
+		}
 		ex := Explored{Breaker: b.Name()}
 		dag := b.Break(full)
 		if !dag.IsAcyclic() {
@@ -94,8 +113,11 @@ func Explore(t topology.Topology, flows []flowgraph.Flow, cfg Config) []Explored
 			continue
 		}
 		g := flowgraph.New(dag, flows, cfg.ChannelCapacity)
-		set, err := cfg.Selector.Select(g)
+		set, err := route.SelectWithContext(ctx, cfg.Selector, g)
 		if err != nil {
+			if ctx.Err() != nil {
+				return results, ctx.Err()
+			}
 			ex.Err = err
 			results = append(results, ex)
 			continue
@@ -110,15 +132,26 @@ func Explore(t topology.Topology, flows []flowgraph.Flow, cfg Config) []Explored
 		ex.AvgHops = set.AvgHops()
 		results = append(results, ex)
 	}
-	return results
+	return results, nil
 }
 
 // Best explores all breakers and returns the route set with the smallest
 // MCL (ties broken by smaller average hop count, then breaker order),
 // fully validated: structurally sound, CDG-conformant, and deadlock free.
 func Best(t topology.Topology, flows []flowgraph.Flow, cfg Config) (*route.Set, Explored, error) {
+	return BestContext(context.Background(), t, flows, cfg)
+}
+
+// BestContext is Best with cooperative cancellation (see ExploreContext).
+// A cancelled exploration returns ctx.Err() rather than the best-so-far:
+// a partial exploration would silently report a different optimum than
+// the configured breaker set defines.
+func BestContext(ctx context.Context, t topology.Topology, flows []flowgraph.Flow, cfg Config) (*route.Set, Explored, error) {
 	cfg = cfg.withDefaults(flows)
-	results := Explore(t, flows, cfg)
+	results, err := ExploreContext(ctx, t, flows, cfg)
+	if err != nil {
+		return nil, Explored{}, err
+	}
 	best := -1
 	for i, ex := range results {
 		if ex.Err != nil {
@@ -130,7 +163,8 @@ func Best(t topology.Topology, flows []flowgraph.Flow, cfg Config) (*route.Set, 
 		}
 	}
 	if best < 0 {
-		return nil, Explored{}, fmt.Errorf("core: no acyclic CDG admitted routes for all %d flows", len(flows))
+		return nil, Explored{}, fmt.Errorf("%w for all %d flows (%d CDGs explored)",
+			ErrInfeasible, len(flows), len(results))
 	}
 	set := results[best].Set
 	if err := set.Validate(cfg.VCs); err != nil {
@@ -164,5 +198,11 @@ func (b BSOR) Name() string {
 // Routes implements route.Algorithm.
 func (b BSOR) Routes(t topology.Topology, flows []flowgraph.Flow) (*route.Set, error) {
 	set, _, err := Best(t, flows, b.Config)
+	return set, err
+}
+
+// RoutesContext implements route.ContextAlgorithm.
+func (b BSOR) RoutesContext(ctx context.Context, t topology.Topology, flows []flowgraph.Flow) (*route.Set, error) {
+	set, _, err := BestContext(ctx, t, flows, b.Config)
 	return set, err
 }

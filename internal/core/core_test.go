@@ -84,7 +84,10 @@ func TestBestBitComplementMatchesDOR(t *testing.T) {
 
 func TestBestValidatesAndIsolatesHeaviestH264Flow(t *testing.T) {
 	m := topology.NewMesh(8, 8)
-	app := traffic.H264Decoder(m)
+	app, err := traffic.H264Decoder(m)
+	if err != nil {
+		t.Fatal(err)
+	}
 	set, ex, err := Best(m, app.Flows, Config{})
 	if err != nil {
 		t.Fatal(err)

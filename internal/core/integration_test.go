@@ -119,7 +119,10 @@ func TestBSOROnTorus(t *testing.T) {
 // without deadlock and deliver every flow.
 func TestEndToEndTransmitterSimulation(t *testing.T) {
 	m := topology.NewMesh(8, 8)
-	app := traffic.Transmitter80211(m)
+	app, err := traffic.Transmitter80211(m)
+	if err != nil {
+		t.Fatal(err)
+	}
 	set, _, err := Best(m, app.Flows, Config{VCs: 2})
 	if err != nil {
 		t.Fatal(err)

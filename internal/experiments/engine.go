@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -13,6 +15,7 @@ import (
 
 	"repro/internal/cdg"
 	"repro/internal/core"
+	"repro/internal/flowgraph"
 	"repro/internal/route"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -222,6 +225,14 @@ type Job struct {
 	Breakers []string `json:"breakers,omitempty"`
 	// VCs is the virtual channel count for synthesis and simulation.
 	VCs int `json:"vcs"`
+	// Demand overrides the per-flow bandwidth (MB/s) of a synthetic
+	// workload; 0 means DefaultDemand. The profiled applications carry
+	// fixed published rates and ignore it.
+	Demand float64 `json:"demand,omitempty"`
+	// Capacity overrides the channel capacity (MB/s) a BSOR synthesis
+	// prices residual bandwidth against; 0 means the core default of 4x
+	// the largest flow demand. Baselines ignore it.
+	Capacity float64 `json:"capacity,omitempty"`
 	// Rate is the offered injection rate (packets/cycle) of a KindSim job.
 	Rate float64 `json:"rate,omitempty"`
 	// Variation enables the ±percent Markov-modulated bandwidth variation
@@ -238,11 +249,18 @@ type Job struct {
 }
 
 // synthKey identifies the route-synthesis work a job needs; jobs sharing
-// a key share one cached synthesis.
+// a key share one cached synthesis. Demand and capacity overrides extend
+// the key only when set, so default-jobs keep their pre-override keys.
 func (j Job) synthKey() string {
 	key := j.Topo.String() + "|" + j.Workload + "|" + j.Algorithm + "|" + fmt.Sprint(j.VCs)
 	for _, b := range j.Breakers {
 		key += "|" + b
+	}
+	if j.Demand != 0 {
+		key += "|d=" + fmt.Sprint(j.Demand)
+	}
+	if j.Capacity != 0 {
+		key += "|cap=" + fmt.Sprint(j.Capacity)
 	}
 	return key
 }
@@ -264,9 +282,19 @@ type Result struct {
 	// Point holds the simulation sample of a KindSim job.
 	Point *SweepPoint `json:"point,omitempty"`
 	// Err describes why the job produced no measurement (e.g. an ad hoc
-	// CDG disconnected a flow).
+	// CDG disconnected a flow). A string, so results marshal
+	// deterministically; Cause retains the typed error.
 	Err string `json:"err,omitempty"`
+
+	// cause is the typed error behind Err, for errors.Is/As at API
+	// boundaries. Never marshaled; nil after a JSON round trip.
+	cause error
 }
+
+// Cause returns the typed error behind Result.Err, or nil for a
+// successful job. Results decoded from JSON lose the typed value and
+// return nil; callers holding such results fall back to the Err string.
+func (r Result) Cause() error { return r.cause }
 
 // WriteJSON writes results as indented JSON. The output is deterministic:
 // same jobs and seeds produce byte-identical bytes however many workers
@@ -313,22 +341,40 @@ type synthCache struct {
 	computes atomic.Int64
 }
 
-func (c *synthCache) get(key string, compute func() (*route.Set, float64, float64, string, error)) *synthesis {
-	c.mu.Lock()
-	if c.entries == nil {
-		c.entries = make(map[string]*synthesis)
+func (c *synthCache) get(ctx context.Context, key string, compute func() (*route.Set, float64, float64, string, error)) *synthesis {
+	for {
+		c.mu.Lock()
+		if c.entries == nil {
+			c.entries = make(map[string]*synthesis)
+		}
+		e := c.entries[key]
+		if e == nil {
+			e = &synthesis{}
+			c.entries[key] = e
+		}
+		c.mu.Unlock()
+		e.once.Do(func() {
+			c.computes.Add(1)
+			e.set, e.mcl, e.avgHops, e.breaker, e.err = compute()
+		})
+		if e.err != nil && (errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
+			// A synthesis aborted by cancellation reflects the computing
+			// caller's context, not the key: drop the entry, and when this
+			// caller's own context is still live (it may have been a waiter
+			// from a different, uncancelled run) retry — the fresh entry's
+			// compute runs under this caller's context.
+			c.mu.Lock()
+			if c.entries[key] == e {
+				delete(c.entries, key)
+			}
+			c.mu.Unlock()
+			if ctx.Err() != nil {
+				return e
+			}
+			continue
+		}
+		return e
 	}
-	e := c.entries[key]
-	if e == nil {
-		e = &synthesis{}
-		c.entries[key] = e
-	}
-	c.mu.Unlock()
-	e.once.Do(func() {
-		c.computes.Add(1)
-		e.set, e.mcl, e.avgHops, e.breaker, e.err = compute()
-	})
-	return e
 }
 
 // Runner executes job lists on a worker pool. The zero value is ready to
@@ -347,6 +393,11 @@ type Runner struct {
 	// Heuristic is the selector behind "BSOR-Heuristic" jobs; nil means
 	// DefaultHeuristic.
 	Heuristic route.Selector
+	// WorkloadFn, when non-nil, resolves workload names the built-in set
+	// does not know (WorkloadFlows returned *UnknownWorkloadError). The
+	// public façade installs its workload registry here so jobs can name
+	// caller-defined flow sets.
+	WorkloadFn func(t topology.Topology, name string, demand float64) ([]flowgraph.Flow, error)
 
 	cache synthCache
 
@@ -365,6 +416,10 @@ type Runner struct {
 // NewRunner returns a Runner with default selectors and worker count.
 func NewRunner() *Runner { return &Runner{} }
 
+// Selector aliases the route-selection interface so engine clients (the
+// cmd tools) can hold selector values without importing internal/route.
+type Selector = route.Selector
+
 // DefaultMILP is the MILP budget used when Runner.MILP is nil: the
 // published-quality setting of cmd/experiments.
 func DefaultMILP() route.Selector {
@@ -375,6 +430,13 @@ func DefaultMILP() route.Selector {
 // is nil: the synthesis-scale setting behind the 16x16 scenarios.
 func DefaultHeuristic() route.Selector {
 	return route.BSORHeuristic{HopSlack: 2, MaxPathsPerFlow: 32}
+}
+
+// FastMILP is the reduced branch-and-bound budget of cmd/experiments
+// -fast: enough to smoke-test every MILP code path in seconds, not enough
+// to reproduce the published MCL values.
+func FastMILP() route.Selector {
+	return route.MILPSelector{HopSlack: 2, MaxPathsPerFlow: 8, Refinements: 2, MaxNodes: 40, Gap: 0.01}
 }
 
 // SynthesisCount reports how many route syntheses the cache has computed
@@ -395,6 +457,29 @@ func (r *Runner) SimStats() (cycles, flitHops int64, wall time.Duration) {
 // order, and every random stream is derived from the job itself, so a
 // run's numbers never depend on the worker count.
 func (r *Runner) Run(jobs []Job) []Result {
+	results, _ := r.RunContext(context.Background(), jobs)
+	return results
+}
+
+// RunContext is Run with cooperative cancellation: once ctx is done no
+// further job starts, the in-flight jobs return at their next internal
+// poll point (synthesis enumeration, branch and bound, the sim cycle
+// loop), and the call returns ctx.Err(). Results of jobs that never ran
+// are zero values (empty Job); completed jobs keep their results, so a
+// cancelled sweep is a prefix sample, not garbage.
+func (r *Runner) RunContext(ctx context.Context, jobs []Job) ([]Result, error) {
+	results := make([]Result, len(jobs))
+	err := r.Stream(ctx, jobs, func(i int, res Result) { results[i] = res })
+	return results, err
+}
+
+// Stream executes jobs on the worker pool like RunContext but delivers
+// each Result through emit as it completes, keyed by its job index.
+// Completion order depends on scheduling; the results themselves do not.
+// Emit calls are serialized — emit never runs concurrently with itself —
+// and stop after ctx is cancelled (jobs already in flight finish and are
+// still delivered). Returns ctx.Err() when cancelled, nil otherwise.
+func (r *Runner) Stream(ctx context.Context, jobs []Job, emit func(index int, res Result)) error {
 	workers := r.Workers
 	if workers <= 0 {
 		workers = runtime.NumCPU()
@@ -402,27 +487,37 @@ func (r *Runner) Run(jobs []Job) []Result {
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
-	results := make([]Result, len(jobs))
 	if len(jobs) == 0 {
-		return results
+		return ctx.Err()
 	}
 	idx := make(chan int)
+	var emitMu sync.Mutex
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i] = r.exec(jobs[i])
+				res := r.exec(ctx, jobs[i])
+				if emit != nil {
+					emitMu.Lock()
+					emit(i, res)
+					emitMu.Unlock()
+				}
 			}
 		}()
 	}
+feed:
 	for i := range jobs {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()
-	return results
+	return ctx.Err()
 }
 
 // topo returns the (cached) topology instance of a spec, so concurrent
@@ -446,21 +541,25 @@ func (r *Runner) topo(spec TopoSpec) (topology.Topology, error) {
 }
 
 // exec runs one job end to end. Panics from incompatible job parameters
-// (e.g. an application workload placed on a too-small grid) are captured
-// as per-job error results so one bad job cannot take down a sweep.
-func (r *Runner) exec(j Job) (res Result) {
+// are captured as per-job error results so one bad job cannot take down a
+// sweep.
+func (r *Runner) exec(ctx context.Context, j Job) (res Result) {
 	defer func() {
 		if p := recover(); p != nil {
-			res = Result{Job: j, MCL: -1, Err: fmt.Sprint(p)}
+			res = Result{Job: j, MCL: -1, Err: fmt.Sprint(p), cause: fmt.Errorf("experiments: %v", p)}
 		}
 	}()
 	res = Result{Job: j, MCL: -1}
-	g, err := r.topo(j.Topo)
-	if err != nil {
+	fail := func(err error) Result {
 		res.Err = err.Error()
+		res.cause = err
 		return res
 	}
-	syn := r.cache.get(j.synthKey(), func() (set *route.Set, mcl, hops float64, breaker string, err error) {
+	g, err := r.topo(j.Topo)
+	if err != nil {
+		return fail(err)
+	}
+	syn := r.cache.get(ctx, j.synthKey(), func() (set *route.Set, mcl, hops float64, breaker string, err error) {
 		// Convert synthesis panics into errors inside the once, so the
 		// cached entry records the failure instead of a half-built value.
 		defer func() {
@@ -468,46 +567,55 @@ func (r *Runner) exec(j Job) (res Result) {
 				err = fmt.Errorf("experiments: synthesis panic: %v", p)
 			}
 		}()
-		return r.synthesize(g, j)
+		return r.synthesize(ctx, g, j)
 	})
 	if syn.err != nil {
-		res.Err = syn.err.Error()
-		return res
+		return fail(syn.err)
 	}
 	res.MCL, res.AvgHops, res.Breaker = syn.mcl, syn.avgHops, syn.breaker
 	if j.Kind != KindSim {
 		return res
 	}
-	point, err := r.simulate(g, syn.set, j)
+	point, err := r.simulate(ctx, g, syn.set, j)
 	if err != nil {
-		res.Err = err.Error()
-		return res
+		return fail(err)
 	}
 	res.Point = point
 	return res
 }
 
+// workloadFlows resolves a job's workload: the built-in set first, then
+// the WorkloadFn hook for names the built-ins do not know.
+func (r *Runner) workloadFlows(g topology.Topology, j Job) ([]flowgraph.Flow, error) {
+	flows, err := WorkloadFlows(g, j.Workload, j.Demand)
+	var unknown *UnknownWorkloadError
+	if err != nil && errors.As(err, &unknown) && r.WorkloadFn != nil {
+		return r.WorkloadFn(g, j.Workload, j.Demand)
+	}
+	return flows, err
+}
+
 // synthesize computes the route set of a job (uncached path).
-func (r *Runner) synthesize(g topology.Topology, j Job) (*route.Set, float64, float64, string, error) {
-	flows, err := workloadFlows(g, j.Workload)
+func (r *Runner) synthesize(ctx context.Context, g topology.Topology, j Job) (*route.Set, float64, float64, string, error) {
+	flows, err := r.workloadFlows(g, j)
 	if err != nil {
 		return nil, 0, 0, "", err
 	}
-	alg, err := r.algorithm(j)
+	alg, err := r.ResolveAlgorithm(j)
 	if err != nil {
 		return nil, 0, 0, "", err
 	}
 	if bsor, ok := alg.(core.BSOR); ok {
 		// Keep the winning breaker name, which plain Algorithm.Routes
 		// discards.
-		set, ex, err := core.Best(g, flows, bsor.Config)
+		set, ex, err := core.BestContext(ctx, g, flows, bsor.Config)
 		if err != nil {
 			return nil, 0, 0, "", err
 		}
 		mcl, _ := set.MCL()
 		return set, mcl, set.AvgHops(), ex.Breaker, nil
 	}
-	set, err := alg.Routes(g, flows)
+	set, err := route.RoutesWithContext(ctx, alg, g, flows)
 	if err != nil {
 		return nil, 0, 0, "", err
 	}
@@ -515,15 +623,19 @@ func (r *Runner) synthesize(g topology.Topology, j Job) (*route.Set, float64, fl
 	return set, mcl, set.AvgHops(), "", nil
 }
 
-// algorithm resolves a job's algorithm name to a runnable route.Algorithm.
-func (r *Runner) algorithm(j Job) (route.Algorithm, error) {
+// ResolveAlgorithm resolves a job's algorithm name to a runnable
+// route.Algorithm, honoring the Runner's selector overrides and the job's
+// breaker, VC, and capacity settings. Unknown names yield an
+// *UnknownAlgorithmError.
+func (r *Runner) ResolveAlgorithm(j Job) (route.Algorithm, error) {
 	bsor := func(sel route.Selector, label string) (route.Algorithm, error) {
-		breakers, err := resolveBreakers(j)
+		breakers, err := ResolveBreakers(j)
 		if err != nil {
 			return nil, err
 		}
 		return core.BSOR{Label: label, Config: core.Config{
 			VCs: j.VCs, Selector: sel, Breakers: breakers,
+			ChannelCapacity: j.Capacity,
 		}}, nil
 	}
 	switch j.Algorithm {
@@ -558,11 +670,11 @@ func (r *Runner) algorithm(j Job) (route.Algorithm, error) {
 	case "SP":
 		return route.ShortestPath{VCs: j.VCs}, nil
 	}
-	return nil, fmt.Errorf("experiments: unknown algorithm %q", j.Algorithm)
+	return nil, &UnknownAlgorithmError{Name: j.Algorithm}
 }
 
 // simulate runs the cycle-accurate simulator for one KindSim job.
-func (r *Runner) simulate(g topology.Topology, set *route.Set, j Job) (*SweepPoint, error) {
+func (r *Runner) simulate(ctx context.Context, g topology.Topology, set *route.Set, j Job) (*SweepPoint, error) {
 	var variation func(flow int) float64
 	if j.Variation > 0 {
 		mmps := make([]*traffic.MMP, len(set.Routes))
@@ -584,7 +696,7 @@ func (r *Runner) simulate(g topology.Topology, set *route.Set, j Job) (*SweepPoi
 		return nil, err
 	}
 	start := time.Now()
-	res, err := s.Run()
+	res, err := s.RunContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -593,8 +705,10 @@ func (r *Runner) simulate(g topology.Topology, set *route.Set, j Job) (*SweepPoi
 	r.simFlitHops.Add(res.FlitHops)
 	return &SweepPoint{
 		Offered: j.Rate, Throughput: res.Throughput,
-		AvgLatency: res.AvgLatency, LatencyStd: res.LatencyStd,
-		LatencyP99: res.LatencyP99, Deadlocked: res.Deadlocked,
+		AvgLatency: res.AvgLatency, AvgTotalLatency: res.AvgTotalLatency,
+		LatencyStd: res.LatencyStd, LatencyP99: res.LatencyP99,
+		Injected: res.PacketsInjected, Delivered: res.PacketsDelivered,
+		Deadlocked: res.Deadlocked,
 	}, nil
 }
 
@@ -669,11 +783,11 @@ func DatelineBreakerNames() []string {
 	return names
 }
 
-// resolveBreakers maps a job's breaker names to implementations; an empty
+// ResolveBreakers maps a job's breaker names to implementations; an empty
 // list selects the topology's default set: the standard fifteen on a
-// mesh, the twelve dateline rules on a torus, and the graph-generic
-// up*/down* set on every other kind.
-func resolveBreakers(j Job) ([]cdg.Breaker, error) {
+// mesh (returned as nil — core's own default), the twelve dateline rules
+// on a torus, and the graph-generic up*/down* set on every other kind.
+func ResolveBreakers(j Job) ([]cdg.Breaker, error) {
 	names := j.Breakers
 	if len(names) == 0 {
 		switch {

@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"testing"
 
 	"repro/internal/core"
@@ -83,7 +85,7 @@ func TestEngineMatchesSequentialExploration(t *testing.T) {
 		byName[r.Workload] = r
 	}
 	for _, wl := range []string{"transmitter", "h264"} {
-		flows, err := workloadFlows(m, wl)
+		flows, err := WorkloadFlows(m, wl, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -213,5 +215,54 @@ func TestUnknownJobFields(t *testing.T) {
 		if res.MCL >= 0 {
 			t.Errorf("job %d: MCL %g for a failed job", i, res.MCL)
 		}
+	}
+}
+
+// TestRunContextCancelMidSweep pins the façade's cancellation contract at
+// the engine level: a context cancelled while a multi-worker sweep is in
+// flight stops the run within one job boundary, surfaces ctx.Err(), and
+// leaves the jobs that never started as zero-value results.
+func TestRunContextCancelMidSweep(t *testing.T) {
+	p := fastParams()
+	var rates []float64
+	for r := 1.0; r <= 24; r++ {
+		rates = append(rates, r)
+	}
+	jobs := SweepJobs("cancel", MeshSpec(8, 8), "transpose",
+		[]string{"XY"}, nil, rates, 0, p)
+	r := &Runner{Workers: 4}
+	ctx, cancel := context.WithCancel(context.Background())
+	seen := 0
+	results := make([]Result, len(jobs))
+	err := r.Stream(ctx, jobs, func(i int, res Result) {
+		results[i] = res
+		seen++
+		if seen == 2 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Stream returned %v, want context.Canceled", err)
+	}
+	started := 0
+	for _, res := range results {
+		if res.Job.Experiment != "" {
+			started++
+		}
+	}
+	if started == len(jobs) {
+		t.Error("every job ran despite cancellation")
+	}
+	if started < 2 {
+		t.Errorf("only %d jobs delivered before cancellation took effect", started)
+	}
+	// The same Runner stays usable after a cancelled run: the synthesis
+	// cache must not have recorded the cancellation.
+	res, err := r.RunContext(context.Background(), jobs[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Err != "" {
+		t.Fatalf("post-cancel rerun failed: %s", res[0].Err)
 	}
 }

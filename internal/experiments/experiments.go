@@ -53,6 +53,47 @@ func SyntheticWorkloadNames() []string {
 // constant rather than a job parameter.
 const RandPermSeed = 1
 
+// DefaultDemand is the per-flow bandwidth (MB/s) of the synthetic
+// workloads when a job does not override it — traffic's published
+// 25 MB/s.
+const DefaultDemand = traffic.DefaultSyntheticDemand
+
+// UnknownWorkloadError reports a workload name no built-in pattern or
+// application matches. The façade's workload registry hooks in behind it
+// (Runner.WorkloadFn); other callers detect it with errors.As.
+type UnknownWorkloadError struct {
+	// Name is the unresolved workload name.
+	Name string
+}
+
+func (e *UnknownWorkloadError) Error() string {
+	return fmt.Sprintf("experiments: unknown workload %q", e.Name)
+}
+
+// UnknownAlgorithmError reports an algorithm name outside the supported
+// set (see Job.Algorithm).
+type UnknownAlgorithmError struct {
+	// Name is the unresolved algorithm name.
+	Name string
+}
+
+func (e *UnknownAlgorithmError) Error() string {
+	return fmt.Sprintf("experiments: unknown algorithm %q", e.Name)
+}
+
+// GridWorkloadError reports a profiled-application workload (fixed grid
+// placements) requested on a topology without grid coordinates. Use
+// traffic.PlacedApp with an explicit placement instead.
+type GridWorkloadError struct {
+	// Workload names the application workload; Topo the topology's Go type.
+	Workload, Topo string
+}
+
+func (e *GridWorkloadError) Error() string {
+	return fmt.Sprintf("experiments: workload %q requires a grid topology, got %s (use traffic.PlacedApp for explicit placements)",
+		e.Workload, e.Topo)
+}
+
 // Workloads returns the thesis' six workloads on an 8x8 grid (mesh or
 // torus): three synthetic patterns at 25 MB/s per flow and three profiled
 // applications.
@@ -61,7 +102,7 @@ func Workloads(g topology.Grid) []Workload {
 		"h264", "perf-modeling", "transmitter")
 	ws := make([]Workload, 0, len(names))
 	for _, name := range names {
-		flows, err := workloadFlows(g, name)
+		flows, err := WorkloadFlows(g, name, 0)
 		if err != nil {
 			panic(err) // an 8x8 grid admits every thesis workload
 		}
@@ -70,39 +111,52 @@ func Workloads(g topology.Grid) []Workload {
 	return ws
 }
 
-// workloadFlows builds one named workload on t — only the one asked for,
+// WorkloadFlows builds one named workload on t — only the one asked for,
 // since the applications require a grid large enough for their placements
 // and must not be constructed for jobs that never use them. The synthetic
 // patterns run on any topology (the bit permutations report a typed error
-// on non-power-of-two node counts; "rand-perm" runs everywhere); the
-// profiled applications carry grid placements and error on other kinds.
-func workloadFlows(t topology.Topology, name string) ([]flowgraph.Flow, error) {
+// on non-power-of-two node counts; "rand-perm" runs everywhere) and take
+// demand as their per-flow bandwidth (0 means DefaultDemand); the
+// profiled applications carry fixed published rates (demand is ignored)
+// and grid placements, erroring on non-grid kinds and on grids too small
+// for their placement (*traffic.PlacementError). Unresolved names yield
+// an *UnknownWorkloadError.
+func WorkloadFlows(t topology.Topology, name string, demand float64) ([]flowgraph.Flow, error) {
+	if demand == 0 {
+		demand = DefaultDemand
+	}
 	switch name {
 	case "transpose":
-		return traffic.Transpose(t, traffic.DefaultSyntheticDemand)
+		return traffic.Transpose(t, demand)
 	case "bit-complement":
-		return traffic.BitComplement(t, traffic.DefaultSyntheticDemand)
+		return traffic.BitComplement(t, demand)
 	case "shuffle":
-		return traffic.Shuffle(t, traffic.DefaultSyntheticDemand)
+		return traffic.Shuffle(t, demand)
 	case "rand-perm":
-		return traffic.RandomPermutation(t, traffic.DefaultSyntheticDemand, RandPermSeed), nil
+		return traffic.RandomPermutation(t, demand, RandPermSeed)
 	}
 	switch name {
 	case "h264", "perf-modeling", "transmitter":
 		g, ok := t.(topology.Grid)
 		if !ok {
-			return nil, fmt.Errorf("experiments: workload %q requires a grid topology, got %T (use traffic.PlacedApp for explicit placements)", name, t)
+			return nil, &GridWorkloadError{Workload: name, Topo: fmt.Sprintf("%T", t)}
 		}
+		var app *traffic.App
+		var err error
 		switch name {
 		case "h264":
-			return traffic.H264Decoder(g).Flows, nil
+			app, err = traffic.H264Decoder(g)
 		case "perf-modeling":
-			return traffic.PerfModeling(g).Flows, nil
+			app, err = traffic.PerfModeling(g)
 		default:
-			return traffic.Transmitter80211(g).Flows, nil
+			app, err = traffic.Transmitter80211(g)
 		}
+		if err != nil {
+			return nil, err
+		}
+		return app.Flows, nil
 	}
-	return nil, fmt.Errorf("experiments: unknown workload %q", name)
+	return nil, &UnknownWorkloadError{Name: name}
 }
 
 // TableBreakers are the five acyclic-CDG columns of Tables 6.1 and 6.2.
@@ -189,10 +243,15 @@ type SweepPoint struct {
 	Throughput float64 `json:"throughput"`
 	// AvgLatency is the mean network latency in cycles.
 	AvgLatency float64 `json:"avg_latency"`
+	// AvgTotalLatency additionally includes source-queue waiting.
+	AvgTotalLatency float64 `json:"avg_total_latency,omitempty"`
 	// LatencyStd is the standard deviation of network latency.
 	LatencyStd float64 `json:"latency_std,omitempty"`
 	// LatencyP99 is the 99th-percentile network latency upper bound.
 	LatencyP99 float64 `json:"latency_p99,omitempty"`
+	// Injected and Delivered count packets over the measurement window.
+	Injected  int64 `json:"injected,omitempty"`
+	Delivered int64 `json:"delivered,omitempty"`
 	// Deadlocked reports that the watchdog aborted the run.
 	Deadlocked bool `json:"deadlocked,omitempty"`
 }

@@ -77,11 +77,11 @@ func TestTopoSpecUnknownKindFailsLoudly(t *testing.T) {
 // grid requirement.
 func TestUnknownWorkloadOnIrregularTopology(t *testing.T) {
 	ring := topology.NewRing(8)
-	if _, err := workloadFlows(ring, "perfmodel"); err == nil ||
+	if _, err := WorkloadFlows(ring, "perfmodel", 0); err == nil ||
 		!strings.Contains(err.Error(), "unknown workload") {
 		t.Errorf("got %v, want unknown-workload error", err)
 	}
-	if _, err := workloadFlows(ring, "h264"); err == nil ||
+	if _, err := WorkloadFlows(ring, "h264", 0); err == nil ||
 		!strings.Contains(err.Error(), "grid topology") {
 		t.Errorf("got %v, want grid-requirement error", err)
 	}
@@ -165,7 +165,7 @@ func TestIrregularRoutesDeadlockFree(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		flows, err := workloadFlows(topo, tc.workload)
+		flows, err := WorkloadFlows(topo, tc.workload, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -179,7 +179,7 @@ func TestIrregularRoutesDeadlockFree(t *testing.T) {
 		if err := spSet.DeadlockFree(2); err != nil {
 			t.Errorf("%s SP: %v", tc.spec, err)
 		}
-		breakers, err := resolveBreakers(Job{Topo: tc.spec})
+		breakers, err := ResolveBreakers(Job{Topo: tc.spec})
 		if err != nil {
 			t.Fatal(err)
 		}

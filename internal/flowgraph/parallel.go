@@ -1,6 +1,7 @@
 package flowgraph
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -13,13 +14,23 @@ import (
 // unbounded); maxPaths caps the deduplicated candidates per flow (0 means
 // uncapped); workers <= 0 uses GOMAXPROCS.
 func (g *Graph) EnumerateAll(budgets []int, maxPaths, workers int) [][]Path {
+	out, _ := g.EnumerateAllContext(context.Background(), budgets, maxPaths, workers)
+	return out
+}
+
+// EnumerateAllContext is EnumerateAll with cooperative cancellation:
+// no new per-flow enumeration starts once ctx is done, and the call
+// returns ctx.Err() after the in-flight ones finish. The partial result
+// is discarded (nil) on cancellation — a route selector cannot use a
+// candidate table with holes.
+func (g *Graph) EnumerateAllContext(ctx context.Context, budgets []int, maxPaths, workers int) ([][]Path, error) {
 	n := len(g.flows)
 	if len(budgets) != n {
 		panic("flowgraph: EnumerateAll needs one budget per flow")
 	}
 	out := make([][]Path, n)
 	if n == 0 {
-		return out
+		return out, ctx.Err()
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -29,9 +40,12 @@ func (g *Graph) EnumerateAll(budgets []int, maxPaths, workers int) [][]Path {
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			out[i] = g.EnumeratePathsDedup(i, budgets[i], maxPaths)
 		}
-		return out
+		return out, nil
 	}
 	g.reverse() // build the shared reverse adjacency before fanning out
 	idx := make(chan int)
@@ -45,10 +59,18 @@ func (g *Graph) EnumerateAll(budgets []int, maxPaths, workers int) [][]Path {
 			}
 		}()
 	}
+feed:
 	for i := 0; i < n; i++ {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()
-	return out
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }

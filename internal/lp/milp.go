@@ -1,6 +1,9 @@
 package lp
 
-import "math"
+import (
+	"context"
+	"math"
+)
 
 // MILPOptions tunes the branch-and-bound search.
 type MILPOptions struct {
@@ -50,6 +53,15 @@ type bbNode struct {
 // LP-relaxation branch and bound with most-fractional branching and
 // depth-first exploration (better-bound node first among siblings).
 func SolveMILP(p *Problem, opts MILPOptions) (*Solution, error) {
+	return SolveMILPContext(context.Background(), p, opts)
+}
+
+// SolveMILPContext is SolveMILP with cooperative cancellation: the
+// branch-and-bound loop polls ctx between nodes and returns ctx.Err()
+// when it fires, discarding any incumbent (a cancelled solve has no
+// answer, partial or otherwise — callers that want best-effort truncation
+// use MaxNodes instead).
+func SolveMILPContext(ctx context.Context, p *Problem, opts MILPOptions) (*Solution, error) {
 	opts = opts.withDefaults()
 
 	intVars := make([]int, 0)
@@ -111,6 +123,9 @@ func SolveMILP(p *Problem, opts MILPOptions) (*Solution, error) {
 	stack := []bbNode{{lb: lb0, ub: ub0, bound: math.Inf(-1)}}
 
 	for len(stack) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if nodes >= opts.MaxNodes {
 			truncated = true
 			break

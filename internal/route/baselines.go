@@ -26,7 +26,7 @@ func asGrid(t topology.Topology, alg string) (topology.Grid, error) {
 	if g, ok := t.(topology.Grid); ok {
 		return g, nil
 	}
-	return nil, fmt.Errorf("route: %s requires a grid topology (mesh or torus), got %T; use SP or BSOR on general graphs", alg, t)
+	return nil, &NotGridError{Algorithm: alg, Topo: fmt.Sprintf("%T", t)}
 }
 
 // dorPath returns the dimension-order path between two nodes: X dimension
@@ -117,7 +117,7 @@ func dorRoutes(g topology.Grid, flows []flowgraph.Flow, xyFirst bool) (*Set, err
 	for i, f := range flows {
 		chans := dorPath(g, f.Src, f.Dst, xyFirst)
 		if len(chans) == 0 {
-			return nil, fmt.Errorf("route: flow %s has equal endpoints", f.Name)
+			return nil, &EqualEndpointsError{Flow: f.Name}
 		}
 		s.Routes[i] = Route{Flow: f, Channels: chans, VCs: constVCs(len(chans), 0)}
 	}
@@ -195,7 +195,7 @@ func (r ROMM) Routes(t topology.Topology, flows []flowgraph.Flow) (*Set, error) 
 		mid := g.NodeAt(lox+rng.Intn(hix-lox+1), loy+rng.Intn(hiy-loy+1))
 		chans, vcs := twoPhase(g, f.Src, mid, f.Dst)
 		if len(chans) == 0 {
-			return nil, fmt.Errorf("route: flow %s has equal endpoints", f.Name)
+			return nil, &EqualEndpointsError{Flow: f.Name}
 		}
 		s.Routes[i] = Route{Flow: f, Channels: chans, VCs: vcs}
 	}
@@ -224,7 +224,7 @@ func (v Valiant) Routes(t topology.Topology, flows []flowgraph.Flow) (*Set, erro
 		mid := topology.NodeID(rng.Intn(g.NumNodes()))
 		chans, vcs := twoPhase(g, f.Src, mid, f.Dst)
 		if len(chans) == 0 {
-			return nil, fmt.Errorf("route: flow %s has equal endpoints", f.Name)
+			return nil, &EqualEndpointsError{Flow: f.Name}
 		}
 		s.Routes[i] = Route{Flow: f, Channels: chans, VCs: vcs}
 	}
@@ -253,7 +253,7 @@ func (o O1TURN) Routes(t topology.Topology, flows []flowgraph.Flow) (*Set, error
 		xyFirst := rng.Intn(2) == 0
 		chans := dorPath(g, f.Src, f.Dst, xyFirst)
 		if len(chans) == 0 {
-			return nil, fmt.Errorf("route: flow %s has equal endpoints", f.Name)
+			return nil, &EqualEndpointsError{Flow: f.Name}
 		}
 		vc := 0
 		if !xyFirst {

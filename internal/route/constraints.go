@@ -2,7 +2,6 @@ package route
 
 import (
 	"container/heap"
-	"fmt"
 	"math"
 
 	"repro/internal/cdg"
@@ -98,8 +97,10 @@ func shortestPathGABounded(g *flowgraph.Graph, i int, maxHops int,
 	}
 	if goal < 0 {
 		f := g.Flows()[i]
-		return nil, fmt.Errorf("route: flow %s has no path within %d hops in this acyclic CDG",
-			f.Name, maxHops)
+		return nil, &NoPathError{Flow: f.Name,
+			Src:    g.Topology().NodeName(f.Src),
+			Dst:    g.Topology().NodeName(f.Dst),
+			Budget: maxHops}
 	}
 	var p flowgraph.Path
 	for k := int(prev[goal]); k >= 0 && flowgraph.VertexID(k/(maxHops+1)) != src; k = int(prev[k]) {

@@ -1,0 +1,54 @@
+package route
+
+import (
+	"context"
+
+	"repro/internal/flowgraph"
+	"repro/internal/topology"
+)
+
+// ContextSelector is implemented by selectors that support cooperative
+// cancellation. SelectWithContext dispatches to it; every selector in
+// this package implements it, so plain Select is equivalent to
+// SelectContext with a background context.
+type ContextSelector interface {
+	Selector
+	// SelectContext is Select with cancellation: it returns ctx.Err() (no
+	// route set) once ctx is done, polling at least once per flow.
+	SelectContext(ctx context.Context, g *flowgraph.Graph) (*Set, error)
+}
+
+// SelectWithContext runs sel under ctx when it supports cancellation and
+// falls back to the plain uncancellable Select otherwise.
+func SelectWithContext(ctx context.Context, sel Selector, g *flowgraph.Graph) (*Set, error) {
+	if cs, ok := sel.(ContextSelector); ok {
+		return cs.SelectContext(ctx, g)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return sel.Select(g)
+}
+
+// ContextAlgorithm is implemented by routing algorithms that support
+// cooperative cancellation (the BSOR framework, ShortestPath).
+// RoutesWithContext dispatches to it; the grid baselines route a flow in
+// microseconds and do not implement it.
+type ContextAlgorithm interface {
+	Algorithm
+	// RoutesContext is Routes with cancellation: it returns ctx.Err() (no
+	// route set) once ctx is done.
+	RoutesContext(ctx context.Context, t topology.Topology, flows []flowgraph.Flow) (*Set, error)
+}
+
+// RoutesWithContext runs alg under ctx when it supports cancellation and
+// falls back to the plain uncancellable Routes otherwise.
+func RoutesWithContext(ctx context.Context, alg Algorithm, t topology.Topology, flows []flowgraph.Flow) (*Set, error) {
+	if ca, ok := alg.(ContextAlgorithm); ok {
+		return ca.RoutesContext(ctx, t, flows)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return alg.Routes(t, flows)
+}

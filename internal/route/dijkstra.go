@@ -2,7 +2,7 @@ package route
 
 import (
 	"container/heap"
-	"fmt"
+	"context"
 	"math"
 	"sort"
 
@@ -56,6 +56,12 @@ func (d DijkstraSelector) Name() string { return "BSOR-Dijkstra" }
 
 // Select implements Selector.
 func (d DijkstraSelector) Select(g *flowgraph.Graph) (*Set, error) {
+	return d.SelectContext(context.Background(), g)
+}
+
+// SelectContext implements ContextSelector: ctx is polled once per
+// routed flow.
+func (d DijkstraSelector) SelectContext(ctx context.Context, g *flowgraph.Graph) (*Set, error) {
 	flows := g.Flows()
 	residual := make([]float64, g.Topology().NumChannels())
 	for ch := range residual {
@@ -75,6 +81,9 @@ func (d DijkstraSelector) Select(g *flowgraph.Graph) (*Set, error) {
 
 	routes := make([]Route, len(flows))
 	for _, i := range order {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		p, err := d.shortestPath(g, i, residual, vcUse)
 		if err != nil {
 			return nil, err
@@ -177,8 +186,8 @@ func shortestPathGA(g *flowgraph.Graph, i int,
 	}
 	if math.IsInf(dist[snk], 1) {
 		f := g.Flows()[i]
-		return nil, fmt.Errorf("route: flow %s (%s -> %s) unreachable in this acyclic CDG",
-			f.Name, g.Topology().NodeName(f.Src), g.Topology().NodeName(f.Dst))
+		return nil, &NoPathError{Flow: f.Name,
+			Src: g.Topology().NodeName(f.Src), Dst: g.Topology().NodeName(f.Dst)}
 	}
 	var p flowgraph.Path
 	for v := prev[snk]; v != src && v != -1; v = prev[v] {

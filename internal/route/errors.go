@@ -1,0 +1,52 @@
+package route
+
+import "fmt"
+
+// NotGridError reports that a grid-only routing algorithm (the
+// dimension-order families XY/YX/ROMM/Valiant/O1TURN) was asked to route
+// on a topology without grid coordinates. Callers detect it with
+// errors.As and fall back to the graph-generic algorithms (SP, BSOR).
+type NotGridError struct {
+	// Algorithm names the grid-only algorithm.
+	Algorithm string
+	// Topo describes the offending topology (its Go type).
+	Topo string
+}
+
+func (e *NotGridError) Error() string {
+	return fmt.Sprintf("route: %s requires a grid topology (mesh or torus), got %s; use SP or BSOR on general graphs",
+		e.Algorithm, e.Topo)
+}
+
+// EqualEndpointsError reports a flow whose source and destination are the
+// same node: no routing algorithm can assign it a non-empty channel walk.
+type EqualEndpointsError struct {
+	// Flow names the degenerate flow.
+	Flow string
+}
+
+func (e *EqualEndpointsError) Error() string {
+	return fmt.Sprintf("route: flow %s has equal endpoints", e.Flow)
+}
+
+// NoPathError reports a flow for which the selector found no conforming
+// path in the acyclic CDG it was given — within a hop budget when Budget
+// is positive, at all otherwise. One CDG rejecting a flow is routine (the
+// core framework explores many and keeps the ones that work); every CDG
+// rejecting it makes the synthesis infeasible (core.ErrInfeasible).
+type NoPathError struct {
+	// Flow names the flow; Src and Dst are its endpoint node names.
+	Flow, Src, Dst string
+	// Budget is the hop budget that was exceeded; <= 0 means the sink is
+	// unreachable in the CDG under any budget.
+	Budget int
+}
+
+func (e *NoPathError) Error() string {
+	if e.Budget > 0 {
+		return fmt.Sprintf("route: flow %s (%s -> %s) has no path within %d hops in this acyclic CDG",
+			e.Flow, e.Src, e.Dst, e.Budget)
+	}
+	return fmt.Sprintf("route: flow %s (%s -> %s) unreachable in this acyclic CDG",
+		e.Flow, e.Src, e.Dst)
+}

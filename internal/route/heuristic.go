@@ -1,6 +1,7 @@
 package route
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -43,6 +44,12 @@ func (h BSORHeuristic) Name() string { return "BSOR-Heuristic" }
 
 // Select implements Selector.
 func (h BSORHeuristic) Select(g *flowgraph.Graph) (*Set, error) {
+	return h.SelectContext(context.Background(), g)
+}
+
+// SelectContext implements ContextSelector: cancellation is polled in
+// candidate enumeration and once per routed flow.
+func (h BSORHeuristic) SelectContext(ctx context.Context, g *flowgraph.Graph) (*Set, error) {
 	flows := g.Flows()
 	if len(flows) == 0 {
 		return &Set{Topo: g.Topology()}, nil
@@ -55,7 +62,10 @@ func (h BSORHeuristic) Select(g *flowgraph.Graph) (*Set, error) {
 	if err != nil {
 		return nil, err
 	}
-	candidates := g.EnumerateAll(budgets, maxPaths, h.Workers)
+	candidates, err := g.EnumerateAllContext(ctx, budgets, maxPaths, h.Workers)
+	if err != nil {
+		return nil, err
+	}
 	for i := range flows {
 		if len(candidates[i]) == 0 {
 			// Restrictive CDGs (dateline rules on large tori) can force
@@ -83,6 +93,9 @@ func (h BSORHeuristic) Select(g *flowgraph.Graph) (*Set, error) {
 	loads := make([]float64, g.Topology().NumChannels())
 	routes := make([]Route, len(flows))
 	for _, i := range order {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		demand := flows[i].Demand
 		best, bestPeak, bestHops := -1, math.Inf(1), 0
 		for pi, p := range candidates[i] {

@@ -1,6 +1,7 @@
 package route
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -106,12 +107,21 @@ func hopBudgets(g *flowgraph.Graph, slack int, overrides map[int]int) ([]int, er
 // noPathError reports an empty candidate set for flow i.
 func noPathError(g *flowgraph.Graph, i, budget int) error {
 	f := g.Flows()[i]
-	return fmt.Errorf("route: flow %s (%s -> %s) has no path within %d hops in this acyclic CDG",
-		f.Name, g.Topology().NodeName(f.Src), g.Topology().NodeName(f.Dst), budget)
+	return &NoPathError{Flow: f.Name,
+		Src:    g.Topology().NodeName(f.Src),
+		Dst:    g.Topology().NodeName(f.Dst),
+		Budget: budget}
 }
 
 // Select implements Selector.
 func (ms MILPSelector) Select(g *flowgraph.Graph) (*Set, error) {
+	return ms.SelectContext(context.Background(), g)
+}
+
+// SelectContext implements ContextSelector: cancellation is polled in
+// candidate enumeration, inside every branch-and-bound solve, and between
+// refinement rounds.
+func (ms MILPSelector) SelectContext(ctx context.Context, g *flowgraph.Graph) (*Set, error) {
 	flows := g.Flows()
 	ms = ms.withDefaults()
 	if len(flows) == 0 {
@@ -122,7 +132,10 @@ func (ms MILPSelector) Select(g *flowgraph.Graph) (*Set, error) {
 	if err != nil {
 		return nil, err
 	}
-	candidates := g.EnumerateAll(budgets, ms.MaxPathsPerFlow, ms.Workers)
+	candidates, err := g.EnumerateAllContext(ctx, budgets, ms.MaxPathsPerFlow, ms.Workers)
+	if err != nil {
+		return nil, err
+	}
 	seen := make([]map[string]bool, len(flows))
 	for i := range flows {
 		seen[i] = make(map[string]bool, len(candidates[i]))
@@ -179,7 +192,7 @@ func (ms MILPSelector) Select(g *flowgraph.Graph) (*Set, error) {
 
 	rng := rand.New(rand.NewSource(ms.Seed + 1))
 	for round := 0; ; round++ {
-		set, err := ms.solveRestricted(g, candidates, seen, bestSet)
+		set, err := ms.solveRestricted(ctx, g, candidates, seen, bestSet)
 		if err != nil {
 			return nil, err
 		}
@@ -206,7 +219,7 @@ func (ms MILPSelector) Select(g *flowgraph.Graph) (*Set, error) {
 //	s.t.  sum_p x[i][p] == 1                      for every flow i
 //	      sum_{i,p crossing channel e} d_i x[i][p] <= U   for every channel e
 //	      x binary, U >= 0
-func (ms MILPSelector) solveRestricted(g *flowgraph.Graph,
+func (ms MILPSelector) solveRestricted(ctx context.Context, g *flowgraph.Graph,
 	candidates [][]flowgraph.Path, seen []map[string]bool, incumbent *Set) (*Set, error) {
 
 	flows := g.Flows()
@@ -315,7 +328,7 @@ func (ms MILPSelector) solveRestricted(g *flowgraph.Graph,
 			opts.WarmStart = warm
 		}
 	}
-	sol, err := lp.SolveMILP(p, opts)
+	sol, err := lp.SolveMILPContext(ctx, p, opts)
 	if err != nil {
 		return nil, err
 	}

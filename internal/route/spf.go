@@ -1,6 +1,7 @@
 package route
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cdg"
@@ -32,6 +33,12 @@ func (ShortestPath) Name() string { return "SP" }
 
 // Routes implements Algorithm.
 func (s ShortestPath) Routes(t topology.Topology, flows []flowgraph.Flow) (*Set, error) {
+	return s.RoutesContext(context.Background(), t, flows)
+}
+
+// RoutesContext implements ContextAlgorithm: ctx is polled once per
+// routed flow.
+func (s ShortestPath) RoutesContext(ctx context.Context, t topology.Topology, flows []flowgraph.Flow) (*Set, error) {
 	vcs := s.VCs
 	if vcs == 0 {
 		vcs = 2
@@ -48,6 +55,9 @@ func (s ShortestPath) Routes(t topology.Topology, flows []flowgraph.Flow) (*Set,
 	routes := make([]Route, len(flows))
 	unit := func(flowgraph.VertexID) float64 { return 1 }
 	for i := range flows {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		p, err := shortestPathGA(g, i, unit)
 		if err != nil {
 			return nil, err

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -201,9 +202,23 @@ func New(cfg Config) (*Simulator, error) {
 
 // Run simulates warmup plus measurement and returns the result.
 func (s *Simulator) Run() (*Result, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation: the cycle loop polls
+// ctx every 1024 simulated cycles (amortized to a no-op against the
+// per-cycle work) and returns ctx.Err() when it fires. A cancelled run
+// yields no Result — partial statistics from a truncated measurement
+// window would be silently biased toward warm-up behavior.
+func (s *Simulator) RunContext(ctx context.Context) (*Result, error) {
 	total := s.cfg.WarmupCycles + s.cfg.MeasureCycles
 	deadlocked := false
 	for s.cycle = 0; s.cycle < total; s.cycle++ {
+		if s.cycle&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		s.generate()
 		s.inject()
 		s.routeAndAllocate()

@@ -2,6 +2,7 @@ package traffic
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/flowgraph"
 	"repro/internal/topology"
@@ -27,21 +28,50 @@ type appFlow struct {
 	demand   float64 // MB/s
 }
 
-func buildApp(g topology.Grid, name string, placement map[string][2]int, flows []appFlow) *App {
+// PlacementError reports an application placement the target topology
+// cannot host: a module off the grid, two modules on one node, a node id
+// out of range, or a flow referencing an unplaced module. Callers detect
+// it with errors.As — the usual cause is running a profiled application
+// (fixed 8x8-scale placements) on a smaller grid.
+type PlacementError struct {
+	// App names the application; Module the offending module ("" when the
+	// problem is a flow reference).
+	App, Module string
+	// Detail describes what went wrong with the placement.
+	Detail string
+}
+
+func (e *PlacementError) Error() string {
+	if e.Module != "" {
+		return fmt.Sprintf("traffic: %s module %s %s", e.App, e.Module, e.Detail)
+	}
+	return fmt.Sprintf("traffic: %s %s", e.App, e.Detail)
+}
+
+func buildApp(g topology.Grid, name string, placement map[string][2]int, flows []appFlow) (*App, error) {
 	modules := make(map[string]topology.NodeID, len(placement))
-	for mod, xy := range placement {
+	// Visit modules in sorted order so which one a *PlacementError blames
+	// is deterministic — the experiment engine's JSON output embeds it.
+	for _, mod := range sortedKeys(placement) {
+		xy := placement[mod]
 		n := g.NodeAt(xy[0], xy[1])
 		if n == topology.InvalidNode {
-			panic(fmt.Sprintf("traffic: %s module %s placed off-mesh at (%d,%d)",
-				name, mod, xy[0], xy[1]))
+			return nil, &PlacementError{App: name, Module: mod,
+				Detail: fmt.Sprintf("placed off-grid at (%d,%d) on a %dx%d grid",
+					xy[0], xy[1], g.Width(), g.Height())}
 		}
 		modules[mod] = n
 	}
-	app, err := buildAppNodes(g, name, modules, flows)
-	if err != nil {
-		panic(err)
+	return buildAppNodes(g, name, modules, flows)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
 	}
-	return app
+	sort.Strings(keys)
+	return keys
 }
 
 // buildAppNodes assembles an App from a module-to-node-id placement on any
@@ -52,14 +82,15 @@ func buildAppNodes(t topology.Topology, name string, modules map[string]topology
 
 	app := &App{Name: name, Modules: make(map[string]topology.NodeID, len(modules))}
 	used := make(map[topology.NodeID]string, len(modules))
-	for mod, n := range modules {
+	for _, mod := range sortedKeys(modules) {
+		n := modules[mod]
 		if n < 0 || int(n) >= t.NumNodes() {
-			return nil, fmt.Errorf("traffic: %s module %s placed on node %d outside [0,%d)",
-				name, mod, n, t.NumNodes())
+			return nil, &PlacementError{App: name, Module: mod,
+				Detail: fmt.Sprintf("placed on node %d outside [0,%d)", n, t.NumNodes())}
 		}
 		if prev, clash := used[n]; clash {
-			return nil, fmt.Errorf("traffic: %s modules %s and %s share node %s",
-				name, prev, mod, t.NodeName(n))
+			return nil, &PlacementError{App: name, Module: mod,
+				Detail: fmt.Sprintf("shares node %s with module %s", t.NodeName(n), prev)}
 		}
 		used[n] = mod
 		app.Modules[mod] = n
@@ -67,11 +98,13 @@ func buildAppNodes(t topology.Topology, name string, modules map[string]topology
 	for _, f := range flows {
 		src, ok := app.Modules[f.from]
 		if !ok {
-			return nil, fmt.Errorf("traffic: %s flow %s references unknown module %s", name, f.name, f.from)
+			return nil, &PlacementError{App: name,
+				Detail: fmt.Sprintf("flow %s references unknown module %s", f.name, f.from)}
 		}
 		dst, ok := app.Modules[f.to]
 		if !ok {
-			return nil, fmt.Errorf("traffic: %s flow %s references unknown module %s", name, f.name, f.to)
+			return nil, &PlacementError{App: name,
+				Detail: fmt.Sprintf("flow %s references unknown module %s", f.name, f.to)}
 		}
 		app.Flows = append(app.Flows, flowgraph.Flow{
 			ID:     len(app.Flows),
@@ -119,7 +152,10 @@ func PlacedApp(t topology.Topology, name string, modules map[string]topology.Nod
 // fifteen flows whose rates span 0.473 to 120.4 MB/s. The dominant flow f7
 // (120.4 MB/s, into the memory controller) sets the lower bound on any
 // routing's MCL, which the thesis' best CDGs achieve exactly.
-func H264Decoder(g topology.Grid) *App {
+//
+// The documented placement needs a grid of at least 6x6; smaller grids
+// yield a *PlacementError.
+func H264Decoder(g topology.Grid) (*App, error) {
 	placement := map[string][2]int{
 		"M1": {1, 1}, "M2": {3, 1}, "M3": {5, 1},
 		"M4": {1, 3}, "M5": {3, 3}, "M6": {5, 3},
@@ -153,7 +189,10 @@ func h264Flows() []appFlow {
 // instruction memory, data memory, and register file as independent
 // modules. Flow rates range from 4.3 to 62.73 MB/s; the register-file flow
 // f4 (62.73 MB/s) bounds the achievable MCL.
-func PerfModeling(g topology.Grid) *App {
+//
+// The documented placement needs a grid of at least 6x5; smaller grids
+// yield a *PlacementError.
+func PerfModeling(g topology.Grid) (*App, error) {
 	placement := map[string][2]int{
 		"Fetch": {1, 2}, "Imem": {3, 2}, "Decode": {5, 2},
 		"Dmem": {1, 4}, "RegFile": {3, 4}, "Execute": {5, 4},
@@ -183,7 +222,10 @@ func perfModelFlows() []appFlow {
 // gives rates in Mbit/s; demands here are converted to MB/s (divided by 8)
 // so MCL values are directly comparable with the thesis' tables (e.g. the
 // 58.72 Mbit/s flow f9 is 7.34 MB/s, the best-case MCL of Table 6.1).
-func Transmitter80211(g topology.Grid) *App {
+//
+// The documented placement needs a grid of at least 7x7; smaller grids
+// yield a *PlacementError.
+func Transmitter80211(g topology.Grid) (*App, error) {
 	placement := map[string][2]int{
 		"IN": {0, 3}, "M1": {1, 4}, "M2": {2, 3}, "M3": {2, 5},
 		"M4": {0, 5}, "M5": {3, 4}, "M6": {4, 4}, "M7": {5, 4},

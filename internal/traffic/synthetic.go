@@ -41,6 +41,18 @@ func (e *NonPowerOfTwoError) Error() string {
 	return fmt.Sprintf("traffic: %d nodes is not a power of two; bit-permutation patterns need an integer address width (use RandomPermutation)", e.Nodes)
 }
 
+// TooFewNodesError reports a topology with fewer than two nodes: no
+// traffic pattern can produce a flow on it (a node does not send to
+// itself). Callers detect it with errors.As.
+type TooFewNodesError struct {
+	// Nodes is the offending node count.
+	Nodes int
+}
+
+func (e *TooFewNodesError) Error() string {
+	return fmt.Sprintf("traffic: %d nodes admit no flows; traffic patterns need at least two", e.Nodes)
+}
+
 // OddAddressWidthError reports that Transpose was asked for on a
 // power-of-two topology whose address width is odd, so the two address
 // halves cannot swap. Like *NonPowerOfTwoError, it marks a topology size
@@ -130,11 +142,12 @@ func Shuffle(t topology.Topology, demand float64) ([]flowgraph.Flow, error) {
 // the synthetic workload of choice where the bit patterns are (topologies
 // with non-power-of-two node counts, e.g. Clos fabrics) or are not
 // meaningful (no grid address structure). The same (topology size, seed)
-// pair always yields the same flow set.
-func RandomPermutation(t topology.Topology, demand float64, seed int64) []flowgraph.Flow {
+// pair always yields the same flow set. Topologies with fewer than two
+// nodes yield a *TooFewNodesError.
+func RandomPermutation(t topology.Topology, demand float64, seed int64) ([]flowgraph.Flow, error) {
 	n := t.NumNodes()
 	if n < 2 {
-		return nil
+		return nil, &TooFewNodesError{Nodes: n}
 	}
 	perm := rand.New(rand.NewSource(seed)).Perm(n)
 	// Repair fixed points: swap with the successor position. The swap
@@ -157,5 +170,5 @@ func RandomPermutation(t topology.Topology, demand float64, seed int64) []flowgr
 			Demand: demand,
 		})
 	}
-	return flows
+	return flows, nil
 }

@@ -131,7 +131,10 @@ func TestRandomPermutationAnyTopology(t *testing.T) {
 		topology.NewFoldedClos(3, 6),
 	}
 	for _, topo := range topos {
-		flows := RandomPermutation(topo, 10, 4)
+		flows, err := RandomPermutation(topo, 10, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if len(flows) != topo.NumNodes() {
 			t.Fatalf("%d flows on %d nodes", len(flows), topo.NumNodes())
 		}
@@ -154,14 +157,23 @@ func TestRandomPermutationAnyTopology(t *testing.T) {
 
 func TestRandomPermutationDeterministicPerSeed(t *testing.T) {
 	topo := topology.NewRing(9)
-	a := RandomPermutation(topo, 1, 3)
-	b := RandomPermutation(topo, 1, 3)
+	a, err := RandomPermutation(topo, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomPermutation(topo, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatal("same seed differs")
 		}
 	}
-	c := RandomPermutation(topo, 1, 4)
+	c, err := RandomPermutation(topo, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	same := true
 	for i := range a {
 		if a[i].Dst != c[i].Dst {
@@ -224,7 +236,10 @@ func checkApp(t *testing.T, app *App, wantFlows int, wantMax float64) {
 }
 
 func TestH264Decoder(t *testing.T) {
-	app := H264Decoder(mesh8())
+	app, err := H264Decoder(mesh8())
+	if err != nil {
+		t.Fatal(err)
+	}
 	checkApp(t, app, 15, 120.4)
 	if len(app.Modules) != 9 {
 		t.Errorf("H.264 module count = %d, want 9", len(app.Modules))
@@ -244,7 +259,10 @@ func TestH264Decoder(t *testing.T) {
 }
 
 func TestPerfModeling(t *testing.T) {
-	app := PerfModeling(mesh8())
+	app, err := PerfModeling(mesh8())
+	if err != nil {
+		t.Fatal(err)
+	}
 	checkApp(t, app, 11, 62.73)
 	if len(app.Modules) != 6 {
 		t.Errorf("perf modeling module count = %d, want 6", len(app.Modules))
@@ -252,7 +270,10 @@ func TestPerfModeling(t *testing.T) {
 }
 
 func TestTransmitter80211(t *testing.T) {
-	app := Transmitter80211(mesh8())
+	app, err := Transmitter80211(mesh8())
+	if err != nil {
+		t.Fatal(err)
+	}
 	checkApp(t, app, 20, 58.72/8)
 	if len(app.Modules) != 17 {
 		t.Errorf("transmitter module count = %d, want 17", len(app.Modules))
@@ -272,7 +293,11 @@ func TestTransmitter80211(t *testing.T) {
 
 func TestAppPlacementsDistinct(t *testing.T) {
 	m := mesh8()
-	for _, app := range []*App{H264Decoder(m), PerfModeling(m), Transmitter80211(m)} {
+	for _, build := range []func(topology.Grid) (*App, error){H264Decoder, PerfModeling, Transmitter80211} {
+		app, err := build(m)
+		if err != nil {
+			t.Fatal(err)
+		}
 		seen := map[topology.NodeID]string{}
 		for mod, n := range app.Modules {
 			if prev, ok := seen[n]; ok {
@@ -387,5 +412,54 @@ func TestMMPProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestPlacementErrorTyped pins the typed error the profiled-application
+// constructors return when their documented placements do not fit the
+// grid, so API boundaries can errors.As it. The blamed module is
+// deterministic (sorted module order) because the experiment engine's
+// JSON output embeds the message.
+func TestPlacementErrorTyped(t *testing.T) {
+	small := topology.NewMesh(4, 4)
+	for _, tc := range []struct {
+		name  string
+		build func(topology.Grid) (*App, error)
+		mod   string
+	}{
+		{"h264", H264Decoder, "M3"},
+		{"perfmodel", PerfModeling, "Decode"},
+		{"wifi-tx", Transmitter80211, "DAC"},
+	} {
+		_, err := tc.build(small)
+		var pe *PlacementError
+		if !errors.As(err, &pe) {
+			t.Errorf("%s on 4x4: err = %v (%T), want *PlacementError", tc.name, err, err)
+			continue
+		}
+		if pe.App != tc.name || pe.Module != tc.mod {
+			t.Errorf("%s: error blames %s/%s, want module %s", tc.name, pe.App, pe.Module, tc.mod)
+		}
+	}
+	// PlacedApp shares the same typed error for bad explicit placements.
+	_, err := PlacedApp(topology.NewRing(4), "perfmodel", map[string]topology.NodeID{
+		"Fetch": 0, "Imem": 1, "Decode": 2, "Dmem": 3, "RegFile": 9, "Execute": 5,
+	})
+	var pe *PlacementError
+	if !errors.As(err, &pe) {
+		t.Errorf("PlacedApp out-of-range: err = %v (%T), want *PlacementError", err, err)
+	}
+}
+
+// TestTooFewNodesErrorTyped pins the typed error RandomPermutation
+// returns on degenerate topologies.
+func TestTooFewNodesErrorTyped(t *testing.T) {
+	_, err := RandomPermutation(topology.NewMesh(1, 1), 1, 1)
+	var tf *TooFewNodesError
+	if !errors.As(err, &tf) {
+		t.Fatalf("err = %v (%T), want *TooFewNodesError", err, err)
+	}
+	if tf.Nodes != 1 {
+		t.Errorf("error reports %d nodes, want 1", tf.Nodes)
 	}
 }

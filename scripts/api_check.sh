@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# api_check.sh — guard the public repro/bsor API surface.
+#
+# Compares the current exported API of ./bsor (as rendered by
+# scripts/apidump, an AST-level stand-in for apidiff) against the
+# committed baseline scripts/api_baseline.txt. CI runs it on every pull
+# request, so the public surface cannot change silently.
+#
+#   scripts/api_check.sh           # verify (exit 1 on drift)
+#   scripts/api_check.sh -update   # refresh the baseline after an
+#                                  # intentional API change
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline=scripts/api_baseline.txt
+current=$(mktemp)
+trap 'rm -f "$current"' EXIT
+
+go run ./scripts/apidump ./bsor > "$current"
+
+if [ "${1:-}" = "-update" ]; then
+    cp "$current" "$baseline"
+    echo "api_check: baseline refreshed ($(wc -l < "$baseline") declarations)"
+    exit 0
+fi
+
+if ! diff -u "$baseline" "$current"; then
+    echo >&2
+    echo "api_check: the public repro/bsor API surface changed." >&2
+    echo "If intentional, refresh the baseline:  scripts/api_check.sh -update" >&2
+    exit 1
+fi
+echo "api_check: public bsor API unchanged ($(wc -l < "$baseline") declarations)"

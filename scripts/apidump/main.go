@@ -1,0 +1,194 @@
+// Command apidump prints the exported API surface of a Go package
+// directory in a stable, sorted, one-declaration-per-block text form —
+// the repository's stand-in for apidiff (which the build environment
+// cannot fetch). scripts/api_check.sh diffs its output against the
+// committed baseline so pull requests cannot silently change the public
+// repro/bsor surface.
+//
+// Usage:
+//
+//	apidump <package-dir>
+//
+// The dump is purely syntactic (go/ast, no type checking): exported
+// consts, vars, funcs, types, and methods on exported receivers, with
+// unexported struct fields and interface embeddings elided. Doc comments
+// and declaration bodies are dropped, so only signature changes show up
+// in a diff.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: apidump <package-dir>")
+		os.Exit(2)
+	}
+	decls, err := dump(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apidump:", err)
+		os.Exit(1)
+	}
+	for _, d := range decls {
+		fmt.Println(d)
+	}
+}
+
+// dump parses every non-test file of dir and returns the sorted
+// exported declarations.
+func dump(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, pkg := range pkgs {
+		// Deterministic file order.
+		files := make([]string, 0, len(pkg.Files))
+		for name := range pkg.Files {
+			files = append(files, name)
+		}
+		sort.Strings(files)
+		for _, name := range files {
+			for _, decl := range pkg.Files[name].Decls {
+				out = append(out, exported(fset, decl)...)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// exported renders the exported parts of one top-level declaration.
+func exported(fset *token.FileSet, decl ast.Decl) []string {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || !exportedRecv(d) {
+			return nil
+		}
+		fn := *d
+		fn.Body = nil
+		fn.Doc = nil
+		return []string{render(fset, &fn)}
+	case *ast.GenDecl:
+		var out []string
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if !s.Name.IsExported() {
+					continue
+				}
+				ts := *s
+				ts.Doc, ts.Comment = nil, nil
+				elideUnexported(&ts)
+				out = append(out, render(fset, &ast.GenDecl{Tok: token.TYPE, Specs: []ast.Spec{&ts}}))
+			case *ast.ValueSpec:
+				vs := ast.ValueSpec{Type: s.Type}
+				for _, n := range s.Names {
+					if n.IsExported() {
+						vs.Names = append(vs.Names, n)
+					}
+				}
+				if len(vs.Names) == 0 {
+					continue
+				}
+				// Values are API only insofar as they exist and have a
+				// type; initializer expressions are elided.
+				out = append(out, render(fset, &ast.GenDecl{Tok: d.Tok, Specs: []ast.Spec{&vs}}))
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// exportedRecv reports whether a method's receiver type is exported
+// (true for plain functions).
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// elideUnexported drops unexported struct fields and interface methods
+// from a type spec, so internal layout changes do not churn the dump.
+func elideUnexported(ts *ast.TypeSpec) {
+	switch t := ts.Type.(type) {
+	case *ast.StructType:
+		if t.Fields == nil {
+			return
+		}
+		var kept []*ast.Field
+		for _, f := range t.Fields.List {
+			ff := *f
+			ff.Doc, ff.Comment = nil, nil
+			if len(f.Names) == 0 {
+				kept = append(kept, &ff) // embedded field: keep
+				continue
+			}
+			var names []*ast.Ident
+			for _, n := range f.Names {
+				if n.IsExported() {
+					names = append(names, n)
+				}
+			}
+			if len(names) == 0 {
+				continue
+			}
+			ff.Names = names
+			kept = append(kept, &ff)
+		}
+		t.Fields = &ast.FieldList{List: kept}
+	case *ast.InterfaceType:
+		if t.Methods == nil {
+			return
+		}
+		var kept []*ast.Field
+		for _, f := range t.Methods.List {
+			ff := *f
+			ff.Doc, ff.Comment = nil, nil
+			if len(f.Names) == 1 && !f.Names[0].IsExported() {
+				continue
+			}
+			kept = append(kept, &ff)
+		}
+		t.Methods = &ast.FieldList{List: kept}
+	}
+}
+
+// render prints a node on one logical block with normalized whitespace.
+func render(fset *token.FileSet, node any) string {
+	var buf bytes.Buffer
+	cfg := printer.Config{Mode: printer.RawFormat}
+	if err := cfg.Fprint(&buf, fset, node); err != nil {
+		return fmt.Sprintf("apidump-error: %v", err)
+	}
+	// Collapse to one line so the dump diffs line-by-line per decl.
+	fields := strings.Fields(buf.String())
+	return strings.Join(fields, " ")
+}
