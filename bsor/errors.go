@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/certify"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/route"
@@ -66,11 +67,14 @@ func classify(err error) error {
 		return err
 	}
 	var (
-		notGrid      *route.NotGridError
-		gridWorkload *experiments.GridWorkloadError
-		placement    *traffic.PlacementError
+		notGrid        *route.NotGridError
+		gridWorkload   *experiments.GridWorkloadError
+		placement      *traffic.PlacementError
+		counterexample *certify.Counterexample
 	)
 	switch {
+	case errors.As(err, &counterexample):
+		return newCounterexample(counterexample, err)
 	case errors.Is(err, core.ErrInfeasible):
 		return fmt.Errorf("%w: %w", ErrInfeasible, err)
 	case errors.As(err, &notGrid), errors.As(err, &gridWorkload):

@@ -74,6 +74,7 @@ type config struct {
 	milp      MILPBudget
 	milpSet   bool
 	sim       SimSpec
+	certify   bool
 }
 
 func defaultConfig() config {
@@ -198,6 +199,7 @@ func (c config) runner() *experiments.Runner {
 	r := &experiments.Runner{
 		Workers:    c.workers,
 		WorkloadFn: registryHook,
+		Certify:    c.certify,
 	}
 	if c.milpSet || c.workers > 0 {
 		milp := c.milp

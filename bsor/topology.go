@@ -102,8 +102,10 @@ var (
 // ParseTopology parses the canonical String form — "mesh8x8",
 // "torus4x4", "ring8", "fullmesh5", "clos4x8",
 // "faulted-mesh8x8-f4-s1" — plus bare kind names ("mesh", "torus", ...),
-// which take each kind's documented defaults. Anything else yields a
-// *SpecError.
+// which take each kind's documented defaults. Anything else — including
+// well-formed labels with parameters the kind cannot build, like a
+// zero-size grid, a ring below three nodes, or a Clos without leaves —
+// yields a *SpecError.
 func ParseTopology(s string) (Topology, error) {
 	atoi := func(v string) int { n, _ := strconv.Atoi(v); return n }
 	switch {
@@ -113,18 +115,48 @@ func ParseTopology(s string) (Topology, error) {
 	case topoGridRe.MatchString(s):
 		m := topoGridRe.FindStringSubmatch(s)
 		if m[1] == "clos" {
-			return FoldedClos(atoi(m[2]), atoi(m[3])), nil
+			return checkParams(FoldedClos(atoi(m[2]), atoi(m[3])))
 		}
-		return Topology{Kind: m[1], Width: atoi(m[2]), Height: atoi(m[3])}, nil
+		return checkParams(Topology{Kind: m[1], Width: atoi(m[2]), Height: atoi(m[3])})
 	case topoNodesRe.MatchString(s):
 		m := topoNodesRe.FindStringSubmatch(s)
-		return Topology{Kind: m[1], Nodes: atoi(m[2])}, nil
+		return checkParams(Topology{Kind: m[1], Nodes: atoi(m[2])})
 	case topoFaultedRe.MatchString(s):
 		m := topoFaultedRe.FindStringSubmatch(s)
 		seed, _ := strconv.ParseInt(m[5], 10, 64)
-		return Topology{Kind: m[1], Width: atoi(m[2]), Height: atoi(m[3]),
-			Faults: atoi(m[4]), FaultSeed: seed}, nil
+		return checkParams(Topology{Kind: m[1], Width: atoi(m[2]), Height: atoi(m[3]),
+			Faults: atoi(m[4]), FaultSeed: seed})
 	}
 	return Topology{}, &SpecError{Field: "topo",
 		Reason: fmt.Sprintf("unparseable topology %q (want e.g. mesh8x8, torus4x4, ring8, fullmesh5, clos4x8, faulted-mesh8x8-f4-s1)", s)}
+}
+
+// checkParams rejects parameter values the declared kind cannot build:
+// zero-size grids, undersized rings and full meshes, and Clos fabrics
+// missing a level. The label was already well-formed; the parameters are
+// the problem, so the error names them.
+func checkParams(t Topology) (Topology, error) {
+	bad := func(reason string, args ...any) (Topology, error) {
+		return Topology{}, &SpecError{Field: "topo",
+			Reason: fmt.Sprintf("%s: ", t.Kind) + fmt.Sprintf(reason, args...)}
+	}
+	switch t.Kind {
+	case "mesh", "torus", "faulted-mesh", "faulted-torus":
+		if t.Width < 1 || t.Height < 1 {
+			return bad("zero-size grid %dx%d (both dimensions must be at least 1)", t.Width, t.Height)
+		}
+	case "ring":
+		if t.Nodes < 3 {
+			return bad("%d nodes (a ring needs at least 3)", t.Nodes)
+		}
+	case "fullmesh":
+		if t.Nodes < 2 {
+			return bad("%d nodes (a full mesh needs at least 2)", t.Nodes)
+		}
+	case "clos":
+		if t.Spines < 1 || t.Leaves < 2 {
+			return bad("%d spines x %d leaves (a folded Clos needs at least 1 spine and 2 leaves)", t.Spines, t.Leaves)
+		}
+	}
+	return t, nil
 }

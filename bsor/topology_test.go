@@ -1,0 +1,83 @@
+package bsor
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestParseTopologyErrors(t *testing.T) {
+	cases := []struct {
+		label  string
+		reason string // substring the *SpecError must carry
+	}{
+		// Malformed labels.
+		{"", "unparseable"},
+		{"hypercube4", "unparseable"},
+		{"mesh8", "unparseable"},
+		{"mesh8x", "unparseable"},
+		{"meshAxB", "unparseable"},
+		{"torus-4x4", "unparseable"},
+		{"ring", ""}, // bare kind: valid, defaults apply
+		{"ringx8", "unparseable"},
+		{"fullmesh", ""}, // bare kind
+		{"faulted-mesh8x8", "unparseable"},
+		{"faulted-mesh8x8-f4", "unparseable"},
+		{"faulted-mesh8x8-f4-sX", "unparseable"},
+		{"clos4", "unparseable"},
+		// Zero-size grids.
+		{"mesh0x8", "zero-size grid"},
+		{"mesh8x0", "zero-size grid"},
+		{"torus0x0", "zero-size grid"},
+		{"faulted-mesh0x4-f1-s1", "zero-size grid"},
+		{"faulted-torus4x0-f1-s1", "zero-size grid"},
+		// Undersized node counts.
+		{"ring0", "at least 3"},
+		{"ring2", "at least 3"},
+		{"fullmesh0", "at least 2"},
+		{"fullmesh1", "at least 2"},
+		// Bad Clos parameters.
+		{"clos0x4", "at least 1 spine"},
+		{"clos3x0", "at least 1 spine"},
+		{"clos3x1", "at least 1 spine"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.label, func(t *testing.T) {
+			topo, err := ParseTopology(tc.label)
+			if tc.reason == "" {
+				if err != nil {
+					t.Fatalf("ParseTopology(%q) = %v, want success", tc.label, err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("ParseTopology(%q) accepted, parsed %v", tc.label, topo)
+			}
+			var se *SpecError
+			if !errors.As(err, &se) {
+				t.Fatalf("ParseTopology(%q) error is %T, want *SpecError", tc.label, err)
+			}
+			if se.Field != "topo" {
+				t.Fatalf("SpecError.Field = %q, want %q", se.Field, "topo")
+			}
+			if !strings.Contains(se.Reason, tc.reason) {
+				t.Fatalf("SpecError.Reason = %q, want substring %q", se.Reason, tc.reason)
+			}
+		})
+	}
+}
+
+func TestParseTopologyValid(t *testing.T) {
+	for _, label := range []string{
+		"mesh1x1", "mesh8x8", "torus4x4", "ring3", "ring16",
+		"fullmesh2", "clos1x2", "clos4x8", "faulted-mesh8x8-f4-s1",
+	} {
+		topo, err := ParseTopology(label)
+		if err != nil {
+			t.Fatalf("ParseTopology(%q): %v", label, err)
+		}
+		if got := topo.String(); got != label {
+			t.Fatalf("ParseTopology(%q).String() = %q, not a round trip", label, got)
+		}
+	}
+}

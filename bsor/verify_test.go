@@ -1,0 +1,101 @@
+package bsor
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+func TestVerifyProducesCertificate(t *testing.T) {
+	spec := Spec{Topo: Mesh(4, 4), Workload: "transpose", VCs: 2}
+	cert, err := Verify(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if cert.Breaker == "" || cert.UsedOnly {
+		t.Fatalf("BSOR certificate must cover a full named CDG, got breaker %q used-only %v",
+			cert.Breaker, cert.UsedOnly)
+	}
+	if cert.Levels < 2 || len(cert.Ranks) != cert.Channels*cert.VCs {
+		t.Fatalf("implausible witness: %d levels, %d ranks for %d channels x %d VCs",
+			cert.Levels, len(cert.Ranks), cert.Channels, cert.VCs)
+	}
+	var back Certificate
+	data, err := json.Marshal(cert)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if back.Levels != cert.Levels || back.Breaker != cert.Breaker {
+		t.Fatal("certificate does not JSON round-trip")
+	}
+}
+
+func TestVerifyBaselineUsedOnly(t *testing.T) {
+	spec := Spec{Topo: Ring(8), Workload: "rand-perm", Algorithm: "SP", VCs: 2}
+	cert, err := Verify(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if !cert.UsedOnly || cert.Breaker != "" {
+		t.Fatalf("baseline certificate must be used-only with no breaker, got %+v", cert)
+	}
+}
+
+func TestVerifyCapacityCounterexample(t *testing.T) {
+	spec := Spec{Topo: Mesh(4, 4), Workload: "transpose", VCs: 2}
+	cert, err := Verify(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	spec.Capacity = cert.MCL / 2
+	_, err = Verify(context.Background(), spec)
+	ce, ok := err.(*Counterexample)
+	if !ok {
+		t.Fatalf("under-capacity Verify returned %T (%v), want *Counterexample", err, err)
+	}
+	if ce.Kind != "capacity" || ce.Reason == "" {
+		t.Fatalf("counterexample %+v does not name the capacity violation", ce)
+	}
+}
+
+func TestPipelineWithCertificates(t *testing.T) {
+	specs := []Spec{{Topo: Mesh(4, 4), Workload: "transpose", VCs: 2}}
+	p, err := NewPipeline(specs, WithCertificates())
+	if err != nil {
+		t.Fatalf("NewPipeline: %v", err)
+	}
+	results, err := p.RunAll(context.Background())
+	if err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	for _, res := range results {
+		if res.Err != nil {
+			t.Fatalf("result error: %v", res.Err)
+		}
+		if res.Certificate == nil {
+			t.Fatalf("result %s has no certificate under WithCertificates", res.Name)
+		}
+		if res.Certificate.Breaker != res.Breaker {
+			t.Fatalf("certificate breaker %q != result breaker %q",
+				res.Certificate.Breaker, res.Breaker)
+		}
+	}
+
+	// Without the option the field stays nil.
+	p2, err := NewPipeline(specs)
+	if err != nil {
+		t.Fatalf("NewPipeline: %v", err)
+	}
+	plain, err := p2.RunAll(context.Background())
+	if err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	for _, res := range plain {
+		if res.Certificate != nil {
+			t.Fatal("certificate present without WithCertificates")
+		}
+	}
+}

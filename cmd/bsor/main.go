@@ -8,10 +8,20 @@
 //	bsor -workload transpose -selector dijkstra
 //	bsor -workload h264 -selector milp -vcs 4 -v
 //	bsor -topo torus -workload shuffle
+//
+// The verify subcommand synthesizes a route set and runs the independent
+// deadlock-freedom certificate checker on it, printing the certificate
+// (or, with -json, its machine-checkable form) and exiting non-zero with
+// a concrete counterexample when certification rejects the set:
+//
+//	bsor verify -workload transpose -selector milp
+//	bsor verify -topo ring8 -workload randperm -json
 package main
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +31,35 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "verify" {
+		runVerify(os.Args[2:])
+		return
+	}
+	runSynthesize()
+}
+
+// selectorAlgorithm maps the -selector flag to a façade algorithm name.
+func selectorAlgorithm(selector string, allowSP bool) (string, error) {
+	switch selector {
+	case "dijkstra":
+		return "BSOR-Dijkstra", nil
+	case "milp":
+		return "BSOR-MILP", nil
+	case "heuristic":
+		return "BSOR-Heuristic", nil
+	case "sp":
+		if allowSP {
+			return "SP", nil
+		}
+	}
+	want := "dijkstra, milp, or heuristic"
+	if allowSP {
+		want = "dijkstra, milp, heuristic, or sp"
+	}
+	return "", fmt.Errorf("unknown selector %q (want %s)", selector, want)
+}
+
+func runSynthesize() {
 	var (
 		sf       = bsor.RegisterFlags(flag.CommandLine)
 		selector = flag.String("selector", "dijkstra", "dijkstra | milp | heuristic")
@@ -34,15 +73,9 @@ func main() {
 		fatal(err)
 	}
 	spec.Capacity = *capacity
-	switch *selector {
-	case "dijkstra":
-		spec.Algorithm = "BSOR-Dijkstra"
-	case "milp":
-		spec.Algorithm = "BSOR-MILP"
-	case "heuristic":
-		spec.Algorithm = "BSOR-Heuristic"
-	default:
-		fatal(fmt.Errorf("unknown selector %q (want dijkstra, milp, or heuristic)", *selector))
+	spec.Algorithm, err = selectorAlgorithm(*selector, false)
+	if err != nil {
+		fatal(err)
 	}
 
 	ctx := context.Background()
@@ -72,7 +105,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "internal error:", err)
 		os.Exit(1)
 	}
-	fmt.Println("deadlock freedom: verified (acyclic used-dependence graph)")
+	cert, err := set.Certify()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "internal error:", err)
+		os.Exit(1)
+	}
+	fmt.Println(cert.Summary())
 	if hm := set.Heatmap(); hm != "" {
 		fmt.Println()
 		fmt.Print(hm)
@@ -85,6 +123,56 @@ func main() {
 				r.Flow.Name, r.Flow.Demand, strings.Join(r.Hops, " "))
 		}
 	}
+}
+
+func runVerify(args []string) {
+	fs := flag.NewFlagSet("bsor verify", flag.ExitOnError)
+	var (
+		sf       = bsor.RegisterFlags(fs)
+		selector = fs.String("selector", "dijkstra", "dijkstra | milp | heuristic | sp")
+		capacity = fs.Float64("capacity", 0, "certify loads against this channel capacity (MB/s, 0 = skip)")
+		asJSON   = fs.Bool("json", false, "print the machine-checkable certificate as JSON")
+	)
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+
+	spec, err := sf.ParseSpec()
+	if err != nil {
+		fatal(err)
+	}
+	spec.Capacity = *capacity
+	spec.Algorithm, err = selectorAlgorithm(*selector, true)
+	if err != nil {
+		fatal(err)
+	}
+
+	cert, err := bsor.Verify(context.Background(), spec)
+	if err != nil {
+		var ce *bsor.Counterexample
+		if errors.As(err, &ce) {
+			fmt.Fprintln(os.Stderr, "certification REJECTED the route set:")
+			fmt.Fprintf(os.Stderr, "  kind:   %s\n", ce.Kind)
+			if len(ce.Cycle) > 0 {
+				fmt.Fprintf(os.Stderr, "  cycle:  %s\n", strings.Join(ce.Cycle, " -> "))
+			}
+			if ce.Flow != "" {
+				fmt.Fprintf(os.Stderr, "  flow:   %s (hop %d)\n", ce.Flow, ce.Hop)
+			}
+			fmt.Fprintf(os.Stderr, "  reason: %s\n", ce.Reason)
+			os.Exit(1)
+		}
+		fatal(err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(cert); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Println(cert.Summary())
 }
 
 func fatal(err error) {

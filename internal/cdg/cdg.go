@@ -138,6 +138,24 @@ func (g *Graph) Filter(keep func(u, v VertexID) bool) *Graph {
 	return ng
 }
 
+// WithEdge returns a copy of g with the dependence u -> v added (a
+// no-op copy when the edge already exists). It is the mutation hook of
+// the certificate checker's harness: flipping one edge of an acyclic
+// CDG yields the known-cyclic mutants the checker must refute.
+func (g *Graph) WithEdge(u, v VertexID) *Graph {
+	ng := g.Filter(func(VertexID, VertexID) bool { return true })
+	ng.addEdge(u, v)
+	return ng
+}
+
+// WithoutEdge returns a copy of g with the dependence u -> v removed (a
+// no-op copy when the edge does not exist) — the complementary mutation
+// hook: removing an edge a route set uses yields illegal-transition
+// mutants.
+func (g *Graph) WithoutEdge(u, v VertexID) *Graph {
+	return g.Filter(func(a, b VertexID) bool { return a != u || b != v })
+}
+
 // TopoOrder returns a topological ordering of the vertices and true if the
 // graph is acyclic, or nil and false otherwise (Kahn's algorithm).
 func (g *Graph) TopoOrder() ([]VertexID, bool) {

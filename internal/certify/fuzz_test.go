@@ -1,0 +1,125 @@
+package certify
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cdg"
+	"repro/internal/route"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// FuzzCertify drives the checker over seeded random instances and four
+// mutation operators. The oracle is self-consistency, not a fixed
+// verdict: an accepted instance's certificate must re-Check, a rejection
+// must be a typed counterexample whose cycle (when it claims one) is a
+// real closed walk of the claimed CDG, and the guaranteed-broken mutants
+// (flipped CDG edge, truncated route, forced VC descent) must never be
+// accepted. Certify must never panic whatever the fuzzer feeds in.
+//
+// The seed corpus in testdata/fuzz/FuzzCertify covers every operator:
+// known-cyclic CDG mutants, disconnected routes, and illegal VC
+// transitions.
+func FuzzCertify(f *testing.F) {
+	f.Add(int64(1), byte(3), byte(10), byte(0), uint16(0))
+	f.Add(int64(2), byte(0), byte(6), byte(1), uint16(5))
+	f.Add(int64(3), byte(4), byte(12), byte(2), uint16(2))
+	f.Add(int64(4), byte(2), byte(8), byte(3), uint16(999))
+	f.Add(int64(5), byte(1), byte(9), byte(4), uint16(1))
+	f.Fuzz(func(t *testing.T, seed int64, extra, nFlows, mutKind byte, mutIdx uint16) {
+		n := 4 + int(uint64(seed)%6)
+		g := topology.NewRandomConnected(n, int(extra)%5, seed)
+		flows, err := traffic.RandomFlows(g, int(nFlows)%16+1, 30, seed)
+		if err != nil {
+			t.Skip()
+		}
+		b := cdg.UpDownEscapeBreaker{Root: 0}
+		set, err := route.ShortestPath{VCs: 2, Breaker: b}.Routes(g, flows)
+		if err != nil {
+			t.Skip()
+		}
+		dag := b.Break(cdg.NewFull(g, 2))
+		in := Instance{Topo: g, CDG: dag, Routes: set, VCs: 2}
+
+		mustReject := false
+		switch mutKind % 5 {
+		case 0:
+			// Unmutated: must certify.
+		case 1:
+			// Flip CDG edge #mutIdx: a guaranteed 2-cycle.
+			var es []edge
+			for u := 0; u < dag.NumVertices(); u++ {
+				for _, v := range dag.Out(cdg.VertexID(u)) {
+					es = append(es, edge{int32(u), int32(v)})
+				}
+			}
+			if len(es) == 0 {
+				t.Skip()
+			}
+			e := es[int(mutIdx)%len(es)]
+			in.CDG = dag.WithEdge(cdg.VertexID(e.v), cdg.VertexID(e.u))
+			mustReject = true
+		case 2:
+			// Truncate route #mutIdx: it no longer reaches its sink.
+			r := &in.Routes.Routes[int(mutIdx)%len(in.Routes.Routes)]
+			r.Channels = r.Channels[:len(r.Channels)-1]
+			r.VCs = r.VCs[:len(r.VCs)-1]
+			mustReject = true
+		case 3:
+			// Corrupt one channel id to an arbitrary (possibly out-of-range)
+			// value; may coincidentally stay valid, so no verdict is forced.
+			r := &in.Routes.Routes[int(mutIdx)%len(in.Routes.Routes)]
+			r.Channels[int(mutIdx)%len(r.Channels)] = topology.ChannelID(int(mutIdx) - 7)
+		case 4:
+			// Force a VC descent on a multi-hop route: illegal under the
+			// escape layering.
+			mutated := false
+			for i := range in.Routes.Routes {
+				r := &in.Routes.Routes[i]
+				if len(r.Channels) >= 2 {
+					r.VCs[0] = 1
+					for k := 1; k < len(r.VCs); k++ {
+						r.VCs[k] = 0
+					}
+					mutated = true
+					break
+				}
+			}
+			if !mutated {
+				t.Skip()
+			}
+			mustReject = true
+		}
+
+		cert, err := Certify(in)
+		if err == nil {
+			if mustReject {
+				t.Fatalf("seed %d mut %d: broken mutant accepted", seed, mutKind%5)
+			}
+			if cerr := cert.Check(in); cerr != nil {
+				t.Fatalf("seed %d: Check rejected a fresh certificate: %v", seed, cerr)
+			}
+			return
+		}
+		if mutKind%5 == 0 {
+			t.Fatalf("seed %d: unmutated instance rejected: %v", seed, err)
+		}
+		var ce *Counterexample
+		if !errors.As(err, &ce) {
+			t.Fatalf("seed %d mut %d: rejection is not a counterexample: %v", seed, mutKind%5, err)
+		}
+		if ce.Kind == KindCycle {
+			if len(ce.Cycle) < 3 || ce.Cycle[0] != ce.Cycle[len(ce.Cycle)-1] {
+				t.Fatalf("seed %d: cycle %v is not a closed walk", seed, ce.Labels)
+			}
+			for i := 0; i+1 < len(ce.Cycle); i++ {
+				u := in.CDG.Vertex(ce.Cycle[i].Channel, ce.Cycle[i].VC)
+				v := in.CDG.Vertex(ce.Cycle[i+1].Channel, ce.Cycle[i+1].VC)
+				if !in.CDG.HasEdge(u, v) {
+					t.Fatalf("seed %d: counterexample step %d is not a CDG edge", seed, i)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,165 @@
+package certify
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cdg"
+	"repro/internal/route"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// relabel builds an isomorphic copy of g with node ids permuted by perm
+// while preserving channel ids (channels are re-added in id order), plus
+// the route set remapped onto it. Because the certificate speaks only
+// about channel ids, certification must be invariant under the renaming.
+func relabel(t *testing.T, g *topology.Graph, set *route.Set, perm []int) (*topology.Graph, *route.Set) {
+	t.Helper()
+	b := topology.NewBuilder(g.Name() + "-relabeled")
+	for i := 0; i < g.NumNodes(); i++ {
+		b.Node(fmt.Sprintf("p%d", i))
+	}
+	for id := topology.ChannelID(0); id < topology.ChannelID(g.NumChannels()); id++ {
+		c := g.Channel(id)
+		b.ChannelDir(topology.NodeID(perm[c.Src]), topology.NodeID(perm[c.Dst]), c.Dir)
+	}
+	rg, err := b.Build()
+	if err != nil {
+		t.Fatalf("relabel: %v", err)
+	}
+	rs := &route.Set{Topo: rg, Routes: make([]route.Route, len(set.Routes))}
+	for i, r := range set.Routes {
+		nr := r
+		nr.Flow.Src = topology.NodeID(perm[r.Flow.Src])
+		nr.Flow.Dst = topology.NodeID(perm[r.Flow.Dst])
+		nr.Channels = append([]topology.ChannelID(nil), r.Channels...)
+		nr.VCs = append([]int(nil), r.VCs...)
+		rs.Routes[i] = nr
+	}
+	return rg, rs
+}
+
+func TestMetamorphicNodeRelabeling(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		g := topology.NewRandomConnected(8, 3, seed)
+		flows, err := traffic.RandomFlows(g, 12, 30, seed)
+		if err != nil {
+			t.Fatalf("seed %d: RandomFlows: %v", seed, err)
+		}
+		set, err := route.ShortestPath{VCs: 2}.Routes(g, flows)
+		if err != nil {
+			t.Fatalf("seed %d: SP: %v", seed, err)
+		}
+		base, err := Certify(Instance{Topo: g, Routes: set, VCs: 2})
+		if err != nil {
+			t.Fatalf("seed %d: Certify base: %v", seed, err)
+		}
+
+		perm := rand.New(rand.NewSource(seed + 100)).Perm(g.NumNodes())
+		rg, rs := relabel(t, g, set, perm)
+		in := Instance{Topo: rg, Routes: rs, VCs: 2}
+		cert, err := Certify(in)
+		if err != nil {
+			t.Fatalf("seed %d: Certify relabeled: %v", seed, err)
+		}
+		if err := cert.Check(in); err != nil {
+			t.Fatalf("seed %d: Check relabeled: %v", seed, err)
+		}
+		// Channel ids are preserved, so the witness itself must be.
+		if cert.Levels != base.Levels || cert.MCL != base.MCL || len(cert.Rank) != len(base.Rank) {
+			t.Fatalf("seed %d: relabeling changed the certificate: levels %d/%d, MCL %v/%v",
+				seed, base.Levels, cert.Levels, base.MCL, cert.MCL)
+		}
+		for v := range base.Rank {
+			if base.Rank[v] != cert.Rank[v] {
+				t.Fatalf("seed %d: rank of vertex %d changed %d -> %d under relabeling",
+					seed, v, base.Rank[v], cert.Rank[v])
+			}
+		}
+	}
+}
+
+func TestMetamorphicFaultInjection(t *testing.T) {
+	// Removing links under the connectivity guarantee never breaks
+	// certifiability: every faulted derivative that builds also certifies,
+	// and certification is deterministic across rebuilds.
+	for seed := int64(1); seed <= 4; seed++ {
+		for faults := 1; faults <= 3; faults++ {
+			certify := func() *Certificate {
+				g, err := topology.Faulted(topology.NewMesh(4, 4), seed, faults)
+				if err != nil {
+					t.Fatalf("seed %d faults %d: Faulted: %v", seed, faults, err)
+				}
+				flows, err := traffic.RandomPermutation(g, 25, seed)
+				if err != nil {
+					t.Fatalf("seed %d faults %d: RandomPermutation: %v", seed, faults, err)
+				}
+				b := cdg.UpDownBreaker{Root: 0}
+				set, err := route.ShortestPath{VCs: 2, Breaker: b}.Routes(g, flows)
+				if err != nil {
+					t.Fatalf("seed %d faults %d: SP: %v", seed, faults, err)
+				}
+				in := Instance{Topo: g, CDG: b.Break(cdg.NewFull(g, 2)), Routes: set, VCs: 2}
+				cert, err := Certify(in)
+				if err != nil {
+					t.Fatalf("seed %d faults %d: Certify: %v", seed, faults, err)
+				}
+				if err := cert.Check(in); err != nil {
+					t.Fatalf("seed %d faults %d: Check: %v", seed, faults, err)
+				}
+				return cert
+			}
+			a, b := certify(), certify()
+			if fmt.Sprint(a.Rank) != fmt.Sprint(b.Rank) || a.MCL != b.MCL {
+				t.Fatalf("seed %d faults %d: certification not deterministic across rebuilds", seed, faults)
+			}
+		}
+	}
+}
+
+func TestMetamorphicBreakerSwap(t *testing.T) {
+	// Routes synthesized under breaker A stay certifiable in used-only
+	// mode (their used-dependence graph is a subgraph of A's acyclic CDG),
+	// and checking them against a different acyclic CDG B either certifies
+	// or refutes with an illegal transition — never a cycle, because B is
+	// acyclic, and never an internal error.
+	g := topology.NewRing(8)
+	flows, err := traffic.RandomPermutation(g, 25, 3)
+	if err != nil {
+		t.Fatalf("RandomPermutation: %v", err)
+	}
+	a := cdg.UpDownBreaker{Root: 0}
+	set, err := route.ShortestPath{VCs: 2, Breaker: a}.Routes(g, flows)
+	if err != nil {
+		t.Fatalf("SP: %v", err)
+	}
+
+	if _, err := Certify(Instance{Topo: g, Routes: set, VCs: 2}); err != nil {
+		t.Fatalf("used-only certification after breaker swap must accept: %v", err)
+	}
+
+	for _, b := range cdg.GraphBreakers(g.NumNodes()) {
+		in := Instance{Topo: g, CDG: b.Break(cdg.NewFull(g, 2)), Routes: set, VCs: 2}
+		_, err := Certify(in)
+		if err == nil {
+			continue // routes happen to conform to B as well
+		}
+		var ce *Counterexample
+		if !errors.As(err, &ce) {
+			t.Fatalf("swap to %s: non-counterexample error: %v", b.Name(), err)
+		}
+		if ce.Kind != KindTransition {
+			t.Fatalf("swap to %s: kind %q, want %q (%v)", b.Name(), ce.Kind, KindTransition, ce)
+		}
+	}
+
+	// Swapping in the full (cyclic) CDG must always refute with a cycle.
+	_, err = Certify(Instance{Topo: g, CDG: cdg.NewFull(g, 2), Routes: set, VCs: 2})
+	var ce *Counterexample
+	if !errors.As(err, &ce) || ce.Kind != KindCycle {
+		t.Fatalf("swap to the full CDG must yield a cycle counterexample, got %v", err)
+	}
+}

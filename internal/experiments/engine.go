@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/cdg"
+	"repro/internal/certify"
 	"repro/internal/core"
 	"repro/internal/flowgraph"
 	"repro/internal/route"
@@ -285,6 +286,11 @@ type Result struct {
 	// CDG disconnected a flow). A string, so results marshal
 	// deterministically; Cause retains the typed error.
 	Err string `json:"err,omitempty"`
+	// Cert is the independent deadlock-freedom certificate of the job's
+	// route set, present when the Runner's Certify flag is set. Excluded
+	// from JSON so existing result goldens stay byte-identical; callers
+	// wanting serialized certificates marshal the field themselves.
+	Cert *certify.Certificate `json:"-"`
 
 	// cause is the typed error behind Err, for errors.Is/As at API
 	// boundaries. Never marshaled; nil after a JSON round trip.
@@ -326,6 +332,7 @@ type synthesis struct {
 	mcl     float64
 	avgHops float64
 	breaker string
+	cert    *certify.Certificate
 	err     error
 }
 
@@ -341,7 +348,7 @@ type synthCache struct {
 	computes atomic.Int64
 }
 
-func (c *synthCache) get(ctx context.Context, key string, compute func() (*route.Set, float64, float64, string, error)) *synthesis {
+func (c *synthCache) get(ctx context.Context, key string, compute func() (*route.Set, float64, float64, string, *certify.Certificate, error)) *synthesis {
 	for {
 		c.mu.Lock()
 		if c.entries == nil {
@@ -355,7 +362,7 @@ func (c *synthCache) get(ctx context.Context, key string, compute func() (*route
 		c.mu.Unlock()
 		e.once.Do(func() {
 			c.computes.Add(1)
-			e.set, e.mcl, e.avgHops, e.breaker, e.err = compute()
+			e.set, e.mcl, e.avgHops, e.breaker, e.cert, e.err = compute()
 		})
 		if e.err != nil && (errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
 			// A synthesis aborted by cancellation reflects the computing
@@ -398,6 +405,13 @@ type Runner struct {
 	// public façade installs its workload registry here so jobs can name
 	// caller-defined flow sets.
 	WorkloadFn func(t topology.Topology, name string, demand float64) ([]flowgraph.Flow, error)
+	// Certify runs the independent deadlock-freedom certificate checker
+	// (internal/certify) on every synthesized route set: the claimed CDG
+	// is rebuilt from the winning breaker and re-proved acyclic, and the
+	// routes re-validated hop by hop. The certificate lands in
+	// Result.Cert; a rejection fails the job with the counterexample as
+	// its cause. Certification is memoized with the synthesis.
+	Certify bool
 
 	cache synthCache
 
@@ -559,7 +573,7 @@ func (r *Runner) exec(ctx context.Context, j Job) (res Result) {
 	if err != nil {
 		return fail(err)
 	}
-	syn := r.cache.get(ctx, j.synthKey(), func() (set *route.Set, mcl, hops float64, breaker string, err error) {
+	syn := r.cache.get(ctx, j.synthKey(), func() (set *route.Set, mcl, hops float64, breaker string, cert *certify.Certificate, err error) {
 		// Convert synthesis panics into errors inside the once, so the
 		// cached entry records the failure instead of a half-built value.
 		defer func() {
@@ -572,7 +586,7 @@ func (r *Runner) exec(ctx context.Context, j Job) (res Result) {
 	if syn.err != nil {
 		return fail(syn.err)
 	}
-	res.MCL, res.AvgHops, res.Breaker = syn.mcl, syn.avgHops, syn.breaker
+	res.MCL, res.AvgHops, res.Breaker, res.Cert = syn.mcl, syn.avgHops, syn.breaker, syn.cert
 	if j.Kind != KindSim {
 		return res
 	}
@@ -595,32 +609,67 @@ func (r *Runner) workloadFlows(g topology.Topology, j Job) ([]flowgraph.Flow, er
 	return flows, err
 }
 
-// synthesize computes the route set of a job (uncached path).
-func (r *Runner) synthesize(ctx context.Context, g topology.Topology, j Job) (*route.Set, float64, float64, string, error) {
+// synthesize computes the route set of a job (uncached path), plus its
+// independent certificate when the Runner's Certify flag is set.
+func (r *Runner) synthesize(ctx context.Context, g topology.Topology, j Job) (*route.Set, float64, float64, string, *certify.Certificate, error) {
 	flows, err := r.workloadFlows(g, j)
 	if err != nil {
-		return nil, 0, 0, "", err
+		return nil, 0, 0, "", nil, err
 	}
 	alg, err := r.ResolveAlgorithm(j)
 	if err != nil {
-		return nil, 0, 0, "", err
+		return nil, 0, 0, "", nil, err
 	}
+	var set *route.Set
+	breaker := ""
 	if bsor, ok := alg.(core.BSOR); ok {
 		// Keep the winning breaker name, which plain Algorithm.Routes
 		// discards.
-		set, ex, err := core.BestContext(ctx, g, flows, bsor.Config)
+		var ex core.Explored
+		set, ex, err = core.BestContext(ctx, g, flows, bsor.Config)
 		if err != nil {
-			return nil, 0, 0, "", err
+			return nil, 0, 0, "", nil, err
 		}
-		mcl, _ := set.MCL()
-		return set, mcl, set.AvgHops(), ex.Breaker, nil
+		breaker = ex.Breaker
+	} else {
+		set, err = route.RoutesWithContext(ctx, alg, g, flows)
+		if err != nil {
+			return nil, 0, 0, "", nil, err
+		}
 	}
-	set, err := route.RoutesWithContext(ctx, alg, g, flows)
-	if err != nil {
-		return nil, 0, 0, "", err
+	var cert *certify.Certificate
+	if r.Certify {
+		if cert, err = certifySet(g, j, set, breaker); err != nil {
+			return nil, 0, 0, "", nil, err
+		}
 	}
 	mcl, _ := set.MCL()
-	return set, mcl, set.AvgHops(), "", nil
+	return set, mcl, set.AvgHops(), breaker, cert, nil
+}
+
+// certifySet runs the independent certificate checker on a synthesized
+// route set: the claimed CDG is rebuilt from the winning breaker's name
+// (baselines, which select no CDG, are certified on their
+// used-dependence graph alone) and the whole instance re-proved.
+func certifySet(g topology.Topology, j Job, set *route.Set, breaker string) (*certify.Certificate, error) {
+	vcs := j.VCs
+	if vcs < 1 {
+		vcs = 1
+	}
+	in := certify.Instance{Topo: g, Routes: set, VCs: vcs, Capacity: j.Capacity}
+	if breaker != "" {
+		b, err := BreakerByName(breaker)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: cannot rebuild CDG for certification: %w", err)
+		}
+		in.CDG = b.Break(cdg.NewFull(g, vcs))
+	}
+	cert, err := certify.Certify(in)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: independent certification rejected the %s route set: %w",
+			j.synthKey(), err)
+	}
+	return cert, nil
 }
 
 // ResolveAlgorithm resolves a job's algorithm name to a runnable

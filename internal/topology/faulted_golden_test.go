@@ -1,0 +1,57 @@
+package topology
+
+import (
+	"sync"
+	"testing"
+)
+
+// faultedGolden is the exact channel list of Faulted(mesh4x4, seed 1,
+// 2 faults), serialized id:src->dst:dir. The fault selection is part of
+// the reproducibility contract — experiment labels like
+// "faulted-mesh4x4-f2-s1" name this network and no other — so the literal
+// pins it across Go versions, runs, and refactorings.
+const faultedGolden = "0:0->1:0;1:0->4:2;2:1->2:0;3:1->0:1;4:1->5:2;5:2->3:0;6:2->1:1;7:2->6:2;8:3->2:1;9:4->5:0;10:4->8:2;11:4->0:3;12:5->6:0;13:5->4:1;14:5->9:2;15:5->1:3;16:6->7:0;17:6->5:1;18:6->10:2;19:6->2:3;20:7->6:1;21:7->11:2;22:8->9:0;23:8->12:2;24:8->4:3;25:9->10:0;26:9->8:1;27:9->13:2;28:9->5:3;29:10->11:0;30:10->9:1;31:10->14:2;32:10->6:3;33:11->10:1;34:11->7:3;35:12->13:0;36:12->8:3;37:13->14:0;38:13->12:1;39:13->9:3;40:14->15:0;41:14->13:1;42:14->10:3;43:15->14:1;"
+
+func TestFaultedGoldenDeterminism(t *testing.T) {
+	g, err := Faulted(NewMesh(4, 4), 1, 2)
+	if err != nil {
+		t.Fatalf("Faulted: %v", err)
+	}
+	if got := channelList(g); got != faultedGolden {
+		t.Fatalf("Faulted(mesh4x4, 1, 2) channel list drifted:\n got %s\nwant %s", got, faultedGolden)
+	}
+	if g.Name() != "faulted-4x4-f2-s1" {
+		t.Fatalf("name %q drifted", g.Name())
+	}
+}
+
+func TestFaultedDeterministicAcrossGoroutines(t *testing.T) {
+	// The same (grid, seed, nFaults) triple must yield byte-identical
+	// channel lists no matter how many Faulted calls race: the engine
+	// builds faulted topologies from concurrent workers and memoizes by
+	// label, so any nondeterminism here would poison the caches.
+	const workers = 8
+	lists := make([]string, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			g, err := Faulted(NewMesh(4, 4), 1, 2)
+			if err != nil {
+				t.Errorf("worker %d: Faulted: %v", w, err)
+				return
+			}
+			lists[w] = channelList(g)
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if lists[w] != lists[0] {
+			t.Fatalf("worker %d produced a different channel list", w)
+		}
+	}
+	if lists[0] != faultedGolden {
+		t.Fatalf("concurrent builds drifted from the golden list")
+	}
+}

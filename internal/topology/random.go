@@ -1,0 +1,59 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// NewRandomConnected builds a seeded random strongly connected graph of
+// n >= 2 nodes: a random spanning tree of bidirectional links (each node
+// beyond the first attaches to a uniformly chosen earlier node, so the
+// graph is strongly connected by construction) plus extraLinks further
+// bidirectional links between uniformly chosen non-adjacent node pairs.
+// The result is byte-for-byte deterministic in (n, extraLinks, seed) —
+// the randomized verification harness leans on that to replay failures.
+//
+// extraLinks is clamped to the number of node pairs still unlinked; a
+// fully meshed request simply returns the complete graph.
+func NewRandomConnected(n, extraLinks int, seed int64) *Graph {
+	if n < 2 {
+		panic(fmt.Sprintf("topology: invalid random graph size %d (min 2)", n))
+	}
+	if extraLinks < 0 {
+		panic(fmt.Sprintf("topology: negative extra link count %d", extraLinks))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(fmt.Sprintf("rand%d-e%d-s%d", n, extraLinks, seed))
+	for i := 0; i < n; i++ {
+		b.Node(fmt.Sprintf("g%d", i))
+	}
+	linked := make(map[[2]NodeID]bool, n-1+extraLinks)
+	link := func(x, y NodeID) {
+		if x > y {
+			x, y = y, x
+		}
+		linked[[2]NodeID{x, y}] = true
+		b.Link(x, y)
+	}
+	for i := 1; i < n; i++ {
+		link(NodeID(rng.Intn(i)), NodeID(i))
+	}
+	// Enumerate the remaining unlinked pairs in canonical order and take
+	// a seeded sample, so the same seed always picks the same extras.
+	var free [][2]NodeID
+	for x := 0; x < n; x++ {
+		for y := x + 1; y < n; y++ {
+			if !linked[[2]NodeID{NodeID(x), NodeID(y)}] {
+				free = append(free, [2]NodeID{NodeID(x), NodeID(y)})
+			}
+		}
+	}
+	rng.Shuffle(len(free), func(i, j int) { free[i], free[j] = free[j], free[i] })
+	if extraLinks > len(free) {
+		extraLinks = len(free)
+	}
+	for _, p := range free[:extraLinks] {
+		link(p[0], p[1])
+	}
+	return b.mustBuild()
+}

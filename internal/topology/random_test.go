@@ -1,0 +1,49 @@
+package topology
+
+import (
+	"fmt"
+	"testing"
+)
+
+// channelList serializes a graph's channels for byte-exact comparison.
+func channelList(g *Graph) string {
+	s := ""
+	for id := ChannelID(0); id < ChannelID(g.NumChannels()); id++ {
+		c := g.Channel(id)
+		s += fmt.Sprintf("%d:%d->%d:%d;", c.ID, c.Src, c.Dst, int(c.Dir))
+	}
+	return s
+}
+
+func TestRandomConnectedDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		a := NewRandomConnected(9, 4, seed)
+		b := NewRandomConnected(9, 4, seed)
+		if channelList(a) != channelList(b) {
+			t.Fatalf("seed %d: same parameters produced different graphs", seed)
+		}
+	}
+	if channelList(NewRandomConnected(9, 4, 1)) == channelList(NewRandomConnected(9, 4, 2)) {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestRandomConnectedValid(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		for _, extra := range []int{0, 3, 1000} {
+			g := NewRandomConnected(7, extra, seed)
+			if err := Validate(g); err != nil {
+				t.Fatalf("seed %d extra %d: %v", seed, extra, err)
+			}
+			// Spanning tree plus extras, links are channel pairs.
+			min, max := 2*(7-1), 7*(7-1)
+			if n := g.NumChannels(); n < min || n > max {
+				t.Fatalf("seed %d extra %d: %d channels outside [%d,%d]", seed, extra, n, min, max)
+			}
+		}
+	}
+	// A fully saturated request is the complete graph.
+	if g := NewRandomConnected(5, 1000, 3); g.NumChannels() != 5*4 {
+		t.Fatalf("saturated graph has %d channels, want 20", g.NumChannels())
+	}
+}

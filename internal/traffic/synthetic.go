@@ -172,3 +172,40 @@ func RandomPermutation(t topology.Topology, demand float64, seed int64) ([]flowg
 	}
 	return flows, nil
 }
+
+// RandomFlows is the seeded random demand generator behind the
+// certificate checker's randomized verification harness: nFlows flows
+// with uniformly chosen distinct endpoints and demands drawn uniformly
+// from (0, maxDemand]. Unlike the fixed synthetic patterns it exercises
+// unbalanced, repeated-pair demand matrices. Deterministic in
+// (topology size, nFlows, maxDemand, seed). Topologies with fewer than
+// two nodes yield a *TooFewNodesError.
+func RandomFlows(t topology.Topology, nFlows int, maxDemand float64, seed int64) ([]flowgraph.Flow, error) {
+	n := t.NumNodes()
+	if n < 2 {
+		return nil, &TooFewNodesError{Nodes: n}
+	}
+	if nFlows < 0 {
+		nFlows = 0
+	}
+	if maxDemand <= 0 {
+		maxDemand = DefaultSyntheticDemand
+	}
+	rng := rand.New(rand.NewSource(seed))
+	flows := make([]flowgraph.Flow, 0, nFlows)
+	for i := 0; i < nFlows; i++ {
+		src := rng.Intn(n)
+		dst := rng.Intn(n - 1)
+		if dst >= src {
+			dst++
+		}
+		flows = append(flows, flowgraph.Flow{
+			ID:     i,
+			Name:   fmt.Sprintf("randflow%d(%d->%d)", i, src, dst),
+			Src:    topology.NodeID(src),
+			Dst:    topology.NodeID(dst),
+			Demand: maxDemand * (1 - rng.Float64()),
+		})
+	}
+	return flows, nil
+}
