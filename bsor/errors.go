@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/route"
+	"repro/internal/topology"
 	"repro/internal/traffic"
 )
 
@@ -71,6 +72,7 @@ func classify(err error) error {
 		gridWorkload   *experiments.GridWorkloadError
 		placement      *traffic.PlacementError
 		counterexample *certify.Counterexample
+		tooManyFaults  *topology.TooManyFaultsError
 	)
 	switch {
 	case errors.As(err, &counterexample):
@@ -83,6 +85,10 @@ func classify(err error) error {
 		// A placement that does not fit the declared grid is a spec
 		// mistake (workload x topology), not a synthesis failure.
 		return &SpecError{Field: "workload", Reason: err.Error(), cause: err}
+	case errors.As(err, &tooManyFaults):
+		// A fault budget the topology cannot absorb while staying
+		// connected is likewise a spec mistake (topo x faults).
+		return &SpecError{Field: "topo", Reason: err.Error(), cause: err}
 	}
 	return err
 }

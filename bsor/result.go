@@ -28,6 +28,17 @@ type Point struct {
 	// BSOR route sets are deadlock-free by construction; baselines under
 	// dynamic VC misconfiguration are not).
 	Deadlocked bool `json:"deadlocked,omitempty"`
+	// DroppedFlits / DroppedPackets / RequeuedPackets count in-flight
+	// state purged by live faults; zero (and omitted) outside churn runs
+	// (see RunChurn).
+	DroppedFlits    int64 `json:"dropped_flits,omitempty"`
+	DroppedPackets  int64 `json:"dropped_packets,omitempty"`
+	RequeuedPackets int64 `json:"requeued_packets,omitempty"`
+	// RecoveryCycles and ThroughputDip are the worst-event recovery
+	// metrics of a churn run (RecoveryCycles -1: some event never
+	// regained the pre-fault delivery rate).
+	RecoveryCycles int64   `json:"recovery_cycles,omitempty"`
+	ThroughputDip  float64 `json:"throughput_dip,omitempty"`
 }
 
 // Result is the outcome of one unit of pipeline work: the synthesis of

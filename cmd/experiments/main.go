@@ -19,6 +19,10 @@
 //	experiments -filter '*'           # everything, including extended sweeps
 //	experiments -list                 # print the experiment index
 //
+//	experiments -filter churn-smoke      # live fault churn, drop/requeue policies
+//	experiments -filter churn-16         # 16x16 mesh, seeded 4-fault schedule
+//	experiments -filter churn-warmcold   # warm-started repair vs cold re-solve
+//
 //	experiments -filter table6.2 -jobs   # print the job list as JSON, don't run
 //	experiments -filter table6.2 -json   # machine-readable results (EXPERIMENTS.md)
 //	experiments -workers 4               # worker-pool size (default NumCPU)
@@ -34,6 +38,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -96,6 +101,9 @@ type experiment struct {
 	title string
 	jobs  []experiments.Job
 	print func([]experiments.Result)
+	// churn replaces jobs for online-resilience scenarios (live fault
+	// schedules driven through the churn supervisor).
+	churn []experiments.ChurnSpec
 	// run replaces job execution for the few non-job artifacts (fig5-4).
 	run func()
 }
@@ -266,6 +274,52 @@ func registry() []experiment {
 			[]float64{2, 6}, p),
 		print: printFaultSweep,
 	})
+	// Online-resilience scenarios: links die while the simulation runs,
+	// broken flows degrade onto the up*/down* escape layer, and a
+	// background re-synthesis commits a certified repaired route set one
+	// recovery window later (DESIGN.md §13). The -json output is
+	// byte-identical across runs and worker counts.
+	add(experiment{
+		name:  "churn-smoke",
+		title: "Churn smoke (6x6 mesh: 2-fault live schedule, recovery metrics)",
+		churn: []experiments.ChurnSpec{
+			{Name: "drop", Topo: experiments.MeshSpec(6, 6), Workload: "rand-perm",
+				Rate: 0.3, Seed: 11, Faults: 2, FaultSeed: 3},
+			{Name: "requeue", Topo: experiments.MeshSpec(6, 6), Workload: "rand-perm",
+				Rate: 0.3, Seed: 11, Faults: 2, FaultSeed: 5, Requeue: true},
+		},
+		print: nil,
+	})
+	add(experiment{
+		name:  "churn-16",
+		title: "Churn at scale (16x16 mesh: 4-fault live schedule, heuristic re-synthesis)",
+		churn: []experiments.ChurnSpec{
+			{Name: "churn-16", Topo: experiments.MeshSpec(16, 16), Workload: "transpose",
+				Rate: 0.4, Seed: 11, Warmup: 4000, Measure: 40000,
+				Faults: 4, FaultSeed: 7, FaultSpacing: 8192},
+		},
+		print: nil,
+	})
+	// Warm-versus-cold recovery comparison: the warm-started MILP repairs
+	// each degraded instance while a from-scratch solve of the same
+	// instance is timed alongside (never committed). Three seeded
+	// schedules; wall times go to stderr, never into -json.
+	var warmCold []experiments.ChurnSpec
+	for _, seed := range []int64{3, 5, 9} {
+		warmCold = append(warmCold, experiments.ChurnSpec{
+			Name: fmt.Sprintf("schedule-s%d", seed),
+			Topo: experiments.MeshSpec(6, 6), Workload: "rand-perm",
+			Rate: 0.3, Seed: 11, Measure: 28000,
+			Faults: 3, FaultSeed: seed, FaultSpacing: 8192,
+			Resynth: "milp-warm", MeasureCold: true,
+		})
+	}
+	add(experiment{
+		name:  "churn-warmcold",
+		title: "Churn warm vs cold (6x6 mesh: warm-started MILP repair vs from-scratch solve)",
+		churn: warmCold,
+		print: nil,
+	})
 	return exps
 }
 
@@ -335,12 +389,35 @@ func runMain() int {
 	defer reportSimRate(runner)
 	ran := false
 	var jsonResults []experiments.Result
+	var jsonChurn []experiments.ChurnResult
 	var jsonJobs []experiments.Job
 	for _, e := range exps {
 		if !selected(e.name) {
 			continue
 		}
 		ran = true
+		if e.churn != nil {
+			if *jobs {
+				fmt.Fprintf(os.Stderr, "%s is declared as churn specs, not jobs; skipping under -jobs\n", e.name)
+				continue
+			}
+			results, err := runner.RunChurn(context.Background(), e.churn)
+			if err == nil {
+				err = experiments.FirstChurnError(results)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			if *jsonOut {
+				jsonChurn = append(jsonChurn, results...)
+				continue
+			}
+			fmt.Println(e.title)
+			printChurn(results)
+			fmt.Println()
+			continue
+		}
 		if *jobs {
 			jsonJobs = append(jsonJobs, e.jobs...)
 			continue
@@ -380,12 +457,61 @@ func runMain() int {
 		return 0
 	}
 	if *jsonOut {
+		// One JSON document per run: job results and churn results have
+		// different shapes, so a selection mixing them must be split into
+		// two invocations rather than silently concatenated.
+		if len(jsonResults) > 0 && len(jsonChurn) > 0 {
+			fmt.Fprintln(os.Stderr, "-json cannot mix job and churn experiments; select them in separate runs")
+			return 1
+		}
+		if len(jsonChurn) > 0 {
+			if err := experiments.WriteChurnJSON(os.Stdout, jsonChurn); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			return 0
+		}
 		if err := experiments.WriteJSON(os.Stdout, jsonResults); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
 	}
 	return 0
+}
+
+// printChurn prints one block per churn spec: the aggregate point, then
+// each fault event's purge cost and recovery. Wall-clock solve times are
+// human-output only; -json stays deterministic.
+func printChurn(results []experiments.ChurnResult) {
+	for _, res := range results {
+		fmt.Printf("%s (%s, %s, rate %.2f, %d faults, resynth %s):\n",
+			res.Spec.Name, res.Spec.Topo.String(), res.Spec.Workload,
+			res.Spec.Rate, res.Spec.Faults, res.Spec.Resynth)
+		p := res.Point
+		fmt.Printf("  initial MCL %.2f; throughput %.4f pkt/cycle, %d delivered, avg latency %.1f\n",
+			res.MCL, p.Throughput, p.Delivered, p.AvgLatency)
+		fmt.Printf("  purged: %d flits, %d packets dropped, %d requeued; worst dip %.1f%%, worst recovery %s\n",
+			p.DroppedFlits, p.DroppedPackets, p.RequeuedPackets,
+			100*p.ThroughputDip, cyclesOrNever(p.RecoveryCycles))
+		for i, ev := range res.Events {
+			fmt.Printf("  event %d @ cycle %d: failed %v; dip %.1f%%; recovered in %s; commit @ cycle %d (epoch %d)\n",
+				i, ev.Cycle, ev.Failed, 100*ev.ThroughputDip,
+				cyclesOrNever(ev.RecoveryCycles), ev.CommitCycle, ev.CommitEpoch)
+			line := fmt.Sprintf("    resynth %.1fms", ev.ResynthWall.Seconds()*1e3)
+			if ev.ColdWall > 0 {
+				line += fmt.Sprintf(", cold %.1fms (%.1fx)",
+					ev.ColdWall.Seconds()*1e3, float64(ev.ColdWall)/float64(ev.ResynthWall))
+			}
+			fmt.Println(line)
+		}
+	}
+}
+
+func cyclesOrNever(c int64) string {
+	if c < 0 {
+		return "never (within horizon)"
+	}
+	return fmt.Sprintf("%d cycles", c)
 }
 
 // reportSimRate prints the aggregate simulation throughput of a run to

@@ -1,0 +1,317 @@
+package churn
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/cdg"
+	"repro/internal/certify"
+	"repro/internal/flowgraph"
+	"repro/internal/route"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// EventReport is the measured outcome of one schedule event. All
+// JSON-visible fields are deterministic functions of the simulation
+// (byte-identical across runs and worker counts); the wall-clock solve
+// times are excluded from marshaling and reported separately.
+type EventReport struct {
+	// Cycle echoes the event's fault barrier.
+	Cycle int64 `json:"cycle"`
+	// Failed / Repaired echo the channels the event touched.
+	Failed   []topology.ChannelID `json:"failed,omitempty"`
+	Repaired []topology.ChannelID `json:"repaired,omitempty"`
+	// DroppedFlits / DroppedPackets / RequeuedPackets count the in-flight
+	// state the fault purged (sim.PurgeStats).
+	DroppedFlits    int64 `json:"dropped_flits,omitempty"`
+	DroppedPackets  int64 `json:"dropped_packets,omitempty"`
+	RequeuedPackets int64 `json:"requeued_packets,omitempty"`
+	// EscapeEpoch is the routing-table epoch of the escape layer swapped
+	// in at the fault barrier (0 when no routes broke).
+	EscapeEpoch int32 `json:"escape_epoch,omitempty"`
+	// CommitCycle / CommitEpoch locate the repaired route set's swap.
+	CommitCycle int64 `json:"commit_cycle,omitempty"`
+	CommitEpoch int32 `json:"commit_epoch,omitempty"`
+	// RecoveryCycles is the cycle count from the fault barrier until the
+	// first full sample window whose delivery rate regained RecoveryFrac
+	// of the pre-fault rate; -1 when it never did within the horizon
+	// (the next event, or the end of the run).
+	RecoveryCycles int64 `json:"recovery_cycles"`
+	// ThroughputDip is the worst relative delivery-rate loss over the
+	// post-fault windows up to recovery (0..1).
+	ThroughputDip float64 `json:"throughput_dip"`
+	// ResynthWall is the wall-clock time of the committed background
+	// re-synthesis; ColdWall, when the supervisor was given a cold
+	// selector to compare against, times a from-scratch solve of the same
+	// degraded instance. Wall times never enter the metrics JSON.
+	ResynthWall time.Duration `json:"-"`
+	ColdWall    time.Duration `json:"-"`
+}
+
+// Supervisor interleaves a simulation with a fault schedule. Every field
+// up to Schedule is required.
+type Supervisor struct {
+	// Sim is the running simulation, built over the overlay's base
+	// topology with the initial route set.
+	Sim *sim.Simulator
+	// Overlay is the mutable fault mask over the simulation's topology.
+	// The supervisor owns it during Run: it is mutated at cycle barriers
+	// and snapshotted for background synthesis.
+	Overlay *topology.FaultOverlay
+	// Flows are the routed flows, in the same order as the sim's routes.
+	Flows []flowgraph.Flow
+	// VCs is the virtual channel count of routes and CDGs.
+	VCs int
+	// Resynth produces the repaired route set on the degraded topology —
+	// typically a route.RetrySelector wrapping a warm-started MILP with a
+	// heuristic fallback. It runs on a background goroutine; wrap it with
+	// RetrySelector for per-attempt timeouts and retry budgets.
+	Resynth route.ContextSelector
+	// Schedule lists the fault events in ascending cycle order.
+	Schedule []Event
+
+	// ColdResynth, when non-nil, is additionally timed (never committed)
+	// on every degraded instance, so one run yields the warm-versus-cold
+	// recovery comparison. It runs on the same background goroutine after
+	// the committed solve.
+	ColdResynth route.ContextSelector
+	// EscapeRoot anchors the up*/down* escape layer's spanning order.
+	EscapeRoot topology.NodeID
+	// Capacity is the channel capacity of the re-synthesis flow graph;
+	// zero means 4x the largest flow demand (the core default).
+	Capacity float64
+	// RecoveryWindow is the cycle count between a fault barrier and the
+	// repaired set's commit barrier. Default 2048.
+	RecoveryWindow int64
+	// SampleWindow is the delivered-throughput sampling granularity for
+	// the recovery metrics. Default 512.
+	SampleWindow int64
+	// RecoveryFrac is the fraction of the pre-fault delivery rate that
+	// counts as recovered. Default 0.95.
+	RecoveryFrac float64
+	// Requeue selects the purge policy for in-flight packets of broken
+	// flows: requeue at the source instead of dropping.
+	Requeue bool
+}
+
+// resynthResult carries one background solve back to the barrier.
+type resynthResult struct {
+	set      *route.Set
+	err      error
+	wall     time.Duration
+	coldWall time.Duration
+}
+
+// Run drives the simulation to total cycles through the schedule and
+// returns the final simulation result plus one report per event. On
+// context cancellation the background solver is cancelled, no further
+// route set is swapped in, and ctx.Err() is returned.
+func (sv *Supervisor) Run(ctx context.Context, total int64) (*sim.Result, []EventReport, error) {
+	if sv.Sim == nil || sv.Overlay == nil || sv.Resynth == nil {
+		return nil, nil, fmt.Errorf("churn: Supervisor needs Sim, Overlay, and Resynth")
+	}
+	recovery := sv.RecoveryWindow
+	if recovery == 0 {
+		recovery = 2048
+	}
+	window := sv.SampleWindow
+	if window == 0 {
+		window = 512
+	}
+	frac := sv.RecoveryFrac
+	if frac == 0 {
+		frac = 0.95
+	}
+	events := append([]Event(nil), sv.Schedule...)
+	sort.Slice(events, func(i, j int) bool { return events[i].Cycle < events[j].Cycle })
+	for i, ev := range events {
+		if ev.Cycle < sv.Sim.Cycle() {
+			return nil, nil, fmt.Errorf("churn: event %d at cycle %d is in the past (cycle %d)", i, ev.Cycle, sv.Sim.Cycle())
+		}
+		if i > 0 && events[i-1].Cycle+recovery > ev.Cycle {
+			return nil, nil, fmt.Errorf("churn: event %d at cycle %d lands before event %d commits (cycle %d)",
+				i, ev.Cycle, i-1, events[i-1].Cycle+recovery)
+		}
+		if ev.Cycle+recovery > total {
+			return nil, nil, fmt.Errorf("churn: event %d at cycle %d commits after the run ends (%d > %d)",
+				i, ev.Cycle, ev.Cycle+recovery, total)
+		}
+	}
+
+	samples := newSampler(sv.Sim, window)
+	reports := make([]EventReport, 0, len(events))
+	deadlocked := false
+	for _, ev := range events {
+		var err error
+		deadlocked, err = samples.advance(ctx, ev.Cycle)
+		if err != nil {
+			return nil, nil, err
+		}
+		if deadlocked {
+			break
+		}
+		rep, err := sv.applyEvent(ctx, ev, recovery, samples)
+		if err != nil {
+			return nil, nil, err
+		}
+		reports = append(reports, rep)
+	}
+	if !deadlocked {
+		var err error
+		deadlocked, err = samples.advance(ctx, total)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	samples.finishRecovery(&reports, events, total, frac)
+	return sv.Sim.Finish(deadlocked), reports, nil
+}
+
+// applyEvent executes one fault barrier: repair, fail+purge, escape
+// swap, background re-synthesis, and the commit barrier a recovery
+// window later.
+func (sv *Supervisor) applyEvent(ctx context.Context, ev Event, recovery int64, samples *sampler) (EventReport, error) {
+	rep := EventReport{Cycle: ev.Cycle, Failed: ev.Fail, Repaired: ev.Repair, RecoveryCycles: -1}
+	if len(ev.Repair) > 0 {
+		sv.Overlay.Restore(ev.Repair...)
+		sv.Sim.EnableChannels(ev.Repair...)
+	}
+	if len(ev.Fail) > 0 {
+		sv.Overlay.Disable(ev.Fail...)
+		if !sv.Overlay.Connected() {
+			return rep, fmt.Errorf("churn: fault at cycle %d disconnects the network", ev.Cycle)
+		}
+		stats := sv.Sim.DisableChannels(sv.Requeue, ev.Fail...)
+		rep.DroppedFlits, rep.DroppedPackets, rep.RequeuedPackets = stats.Flits, stats.Packets, stats.Requeued
+
+		// Degrade onto the escape layer immediately: the current table may
+		// route flows into the dead channels, so a dead-avoiding set must
+		// be installed before the next cycle runs (see sim/churn.go). The
+		// swap is unconditional — whether any route actually crossed the
+		// dead link costs a table scan to learn and one epoch to ignore.
+		escape, err := sv.escapeSet(ctx)
+		if err != nil {
+			return rep, fmt.Errorf("churn: escape synthesis at cycle %d: %w", ev.Cycle, err)
+		}
+		if err := sv.Sim.SwapRoutes(escape); err != nil {
+			return rep, fmt.Errorf("churn: escape swap at cycle %d: %w", ev.Cycle, err)
+		}
+		rep.EscapeEpoch = sv.Sim.Epoch()
+	}
+
+	// Background re-synthesis on a snapshot of the degraded topology; the
+	// simulation keeps advancing on the escape layer meanwhile and blocks
+	// at the commit barrier.
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make(chan resynthResult, 1)
+	go sv.resynthesize(sctx, results)
+
+	deadlocked, err := samples.advance(ctx, ev.Cycle+recovery)
+	if err != nil {
+		return rep, err
+	}
+	if deadlocked {
+		// The escape layer itself wedged (watchdog); commit nothing.
+		return rep, nil
+	}
+	select {
+	case <-ctx.Done():
+		return rep, ctx.Err()
+	case r := <-results:
+		if r.err != nil {
+			if ctx.Err() != nil {
+				return rep, ctx.Err()
+			}
+			return rep, fmt.Errorf("churn: re-synthesis for cycle %d: %w", ev.Cycle, r.err)
+		}
+		rep.ResynthWall, rep.ColdWall = r.wall, r.coldWall
+		if err := sv.Sim.SwapRoutes(r.set); err != nil {
+			return rep, fmt.Errorf("churn: repaired swap at cycle %d: %w", ev.Cycle, err)
+		}
+		rep.CommitCycle = sv.Sim.Cycle()
+		rep.CommitEpoch = sv.Sim.Epoch()
+	}
+	return rep, nil
+}
+
+// escapeSet synthesizes the up*/down* escape-layer route set on the
+// current overlay and certifies it before it may be swapped in.
+func (sv *Supervisor) escapeSet(ctx context.Context) (*route.Set, error) {
+	sp := route.ShortestPath{VCs: sv.VCs, Breaker: cdg.UpDownEscapeBreaker{Root: sv.EscapeRoot}}
+	set, err := sp.RoutesContext(ctx, sv.Overlay, sv.Flows)
+	if err != nil {
+		return nil, err
+	}
+	if err := sv.certifySet(set); err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
+// certifySet runs the independent certificate checker over the overlay's
+// degraded view; every route set the supervisor swaps in passes it.
+func (sv *Supervisor) certifySet(set *route.Set) error {
+	dag := cdg.UpDownEscapeBreaker{Root: sv.EscapeRoot}.Break(cdg.NewFull(sv.Overlay, sv.VCs))
+	cert, err := certify.Certify(certify.Instance{
+		Topo: sv.Overlay, CDG: dag, Routes: set, VCs: sv.VCs,
+	})
+	if err != nil {
+		return fmt.Errorf("certification rejected the route set: %w", err)
+	}
+	if err := cert.Check(certify.Instance{
+		Topo: sv.Overlay, CDG: dag, Routes: set, VCs: sv.VCs,
+	}); err != nil {
+		return fmt.Errorf("certificate re-check failed: %w", err)
+	}
+	return nil
+}
+
+// resynthesize runs the repair solve (and the optional cold comparison)
+// on a read-only snapshot of the degraded topology and delivers the
+// certified result. It owns no simulator state, so it races with nothing.
+func (sv *Supervisor) resynthesize(ctx context.Context, out chan<- resynthResult) {
+	snap := topology.NewFaultOverlay(sv.Overlay.Base())
+	snap.Disable(sv.Overlay.Dead()...)
+	dag := cdg.UpDownEscapeBreaker{Root: sv.EscapeRoot}.Break(cdg.NewFull(snap, sv.VCs))
+	capacity := sv.Capacity
+	if capacity == 0 {
+		for _, f := range sv.Flows {
+			if 4*f.Demand > capacity {
+				capacity = 4 * f.Demand
+			}
+		}
+	}
+	g := flowgraph.New(dag, sv.Flows, capacity)
+
+	start := time.Now()
+	set, err := sv.Resynth.SelectContext(ctx, g)
+	wall := time.Since(start)
+	if err == nil {
+		err = sv.certifySnapshot(snap, dag, set)
+	}
+	var coldWall time.Duration
+	if err == nil && sv.ColdResynth != nil {
+		coldStart := time.Now()
+		if _, coldErr := sv.ColdResynth.SelectContext(ctx, g); coldErr == nil {
+			coldWall = time.Since(coldStart)
+		}
+	}
+	out <- resynthResult{set: set, err: err, wall: wall, coldWall: coldWall}
+}
+
+// certifySnapshot certifies a repaired set against the snapshot it was
+// synthesized on (the live overlay may advance past it).
+func (sv *Supervisor) certifySnapshot(snap *topology.FaultOverlay, dag *cdg.Graph, set *route.Set) error {
+	cert, err := certify.Certify(certify.Instance{Topo: snap, CDG: dag, Routes: set, VCs: sv.VCs})
+	if err != nil {
+		return fmt.Errorf("certification rejected the repaired set: %w", err)
+	}
+	if err := cert.Check(certify.Instance{Topo: snap, CDG: dag, Routes: set, VCs: sv.VCs}); err != nil {
+		return fmt.Errorf("repaired-set certificate re-check failed: %w", err)
+	}
+	return nil
+}

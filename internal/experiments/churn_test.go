@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// churnTestSpecs are two small, fast specs exercising both purge policies.
+func churnTestSpecs() []ChurnSpec {
+	return []ChurnSpec{
+		{
+			Name: "drop", Topo: TopoSpec{Kind: "mesh", Width: 6, Height: 6},
+			Workload: "rand-perm", Rate: 0.3, Seed: 11,
+			Faults: 2, FaultSeed: 3,
+		},
+		{
+			Name: "requeue", Topo: TopoSpec{Kind: "mesh", Width: 6, Height: 6},
+			Workload: "rand-perm", Rate: 0.3, Seed: 11,
+			Faults: 2, FaultSeed: 5, Requeue: true,
+		},
+	}
+}
+
+// TestRunChurnDeterministicAcrossWorkers pins the acceptance property:
+// the churn metrics JSON is byte-identical across repeated runs and
+// across worker counts.
+func TestRunChurnDeterministicAcrossWorkers(t *testing.T) {
+	specs := churnTestSpecs()
+	runWith := func(workers int) []byte {
+		r := &Runner{Workers: workers}
+		results, err := r.RunChurn(context.Background(), specs)
+		if err != nil {
+			t.Fatalf("RunChurn(workers=%d): %v", workers, err)
+		}
+		for i, res := range results {
+			if res.Err != "" {
+				t.Fatalf("spec %d (%s) failed: %s", i, specs[i].Name, res.Err)
+			}
+			if res.Point == nil || res.Point.Delivered == 0 {
+				t.Fatalf("spec %d (%s): nothing delivered", i, specs[i].Name)
+			}
+			if len(res.Events) != specs[i].Faults {
+				t.Fatalf("spec %d: %d event reports, want %d", i, len(res.Events), specs[i].Faults)
+			}
+		}
+		j, err := json.Marshal(results)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		return j
+	}
+	one := runWith(1)
+	four := runWith(4)
+	if string(one) != string(four) {
+		t.Fatalf("workers=1 and workers=4 diverged:\n%s\n%s", one, four)
+	}
+	if again := runWith(1); string(one) != string(again) {
+		t.Fatalf("repeated run diverged:\n%s\n%s", one, again)
+	}
+}
+
+// TestRunChurnPolicies checks the per-policy accounting surfaced through
+// the aggregate point.
+func TestRunChurnPolicies(t *testing.T) {
+	r := &Runner{Workers: 2}
+	results, err := r.RunChurn(context.Background(), churnTestSpecs())
+	if err != nil {
+		t.Fatalf("RunChurn: %v", err)
+	}
+	drop, requeue := results[0], results[1]
+	if drop.Err != "" || requeue.Err != "" {
+		t.Fatalf("specs failed: %q / %q", drop.Err, requeue.Err)
+	}
+	if drop.Point.RequeuedPackets != 0 {
+		t.Errorf("drop policy requeued %d packets", drop.Point.RequeuedPackets)
+	}
+	if requeue.Point.DroppedPackets != 0 {
+		t.Errorf("requeue policy dropped %d packets", requeue.Point.DroppedPackets)
+	}
+	for i, res := range results {
+		if res.MCL <= 0 {
+			t.Errorf("result %d: MCL %v, want positive", i, res.MCL)
+		}
+		for j, ev := range res.Events {
+			if ev.EscapeEpoch == 0 {
+				t.Errorf("result %d event %d: no escape swap", i, j)
+			}
+			if ev.CommitEpoch <= ev.EscapeEpoch {
+				t.Errorf("result %d event %d: commit epoch %d not after escape %d",
+					i, j, ev.CommitEpoch, ev.EscapeEpoch)
+			}
+		}
+	}
+}
+
+// TestRunChurnMILPWarm runs the warm-started MILP resynth with the cold
+// comparison and checks both solves were timed.
+func TestRunChurnMILPWarm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("MILP churn run in -short mode")
+	}
+	spec := ChurnSpec{
+		Name: "milp", Topo: TopoSpec{Kind: "mesh", Width: 6, Height: 6},
+		Workload: "rand-perm", Rate: 0.3, Seed: 11,
+		Faults: 1, FaultSeed: 3,
+		Resynth: "milp-warm", MeasureCold: true,
+	}
+	r := &Runner{}
+	results, err := r.RunChurn(context.Background(), []ChurnSpec{spec})
+	if err != nil {
+		t.Fatalf("RunChurn: %v", err)
+	}
+	res := results[0]
+	if res.Err != "" {
+		t.Fatalf("spec failed: %s", res.Err)
+	}
+	for i, ev := range res.Events {
+		if ev.ResynthWall <= 0 {
+			t.Errorf("event %d: resynth wall %v, want positive", i, ev.ResynthWall)
+		}
+		if ev.ColdWall <= 0 {
+			t.Errorf("event %d: cold wall %v, want positive (MeasureCold set)", i, ev.ColdWall)
+		}
+	}
+}
+
+func TestRunChurnUnknownResynth(t *testing.T) {
+	r := &Runner{}
+	results, err := r.RunChurn(context.Background(), []ChurnSpec{{
+		Topo:     TopoSpec{Kind: "mesh", Width: 4, Height: 4},
+		Workload: "rand-perm", Rate: 0.2, Faults: 1, Resynth: "annealing",
+	}})
+	if err != nil {
+		t.Fatalf("RunChurn: %v", err)
+	}
+	if results[0].Err == "" {
+		t.Fatalf("unknown resynth accepted")
+	}
+}

@@ -254,6 +254,17 @@ type SweepPoint struct {
 	Delivered int64 `json:"delivered,omitempty"`
 	// Deadlocked reports that the watchdog aborted the run.
 	Deadlocked bool `json:"deadlocked,omitempty"`
+	// DroppedFlits / DroppedPackets / RequeuedPackets count in-flight
+	// state purged by live faults; all zero (and omitted) outside churn
+	// runs.
+	DroppedFlits    int64 `json:"dropped_flits,omitempty"`
+	DroppedPackets  int64 `json:"dropped_packets,omitempty"`
+	RequeuedPackets int64 `json:"requeued_packets,omitempty"`
+	// RecoveryCycles is the worst per-event recovery time of a churn run
+	// (-1 when some event never regained the pre-fault delivery rate);
+	// ThroughputDip is the worst per-event relative delivery-rate loss.
+	RecoveryCycles int64   `json:"recovery_cycles,omitempty"`
+	ThroughputDip  float64 `json:"throughput_dip,omitempty"`
 }
 
 // Series is one curve of a figure.

@@ -28,6 +28,11 @@ type MILPOptions struct {
 	// parent's optimal basis (dual-simplex restoration) instead of
 	// re-solving from a crash basis.
 	Engine Engine
+	// RootBasis, when non-nil, warm-starts the root LP relaxation from a
+	// previous solve's basis (see Solution.Basis). A basis whose shape no
+	// longer matches the problem is ignored and the root solves cold.
+	// Sparse engine only.
+	RootBasis *Basis
 }
 
 func (o MILPOptions) withDefaults() MILPOptions {
@@ -120,7 +125,16 @@ func SolveMILPContext(ctx context.Context, p *Problem, opts MILPOptions) (*Solut
 			bestObj = sign * obj
 		}
 	}
-	stack := []bbNode{{lb: lb0, ub: ub0, bound: math.Inf(-1)}}
+	root := bbNode{lb: lb0, ub: ub0, bound: math.Inf(-1)}
+	if sp != nil && opts.RootBasis != nil {
+		root.warm = opts.RootBasis.state
+	}
+	stack := []bbNode{root}
+
+	// rootState is the optimal basis of the root relaxation, handed back in
+	// Solution.Basis so an incremental re-solve can start where this one
+	// did.
+	var rootState *basisState
 
 	for len(stack) > 0 {
 		if err := ctx.Err(); err != nil {
@@ -140,6 +154,9 @@ func SolveMILPContext(ctx context.Context, p *Problem, opts MILPOptions) (*Solut
 		sol, state, err := solveNode(node)
 		if err != nil {
 			return nil, err
+		}
+		if nodes == 1 && state != nil {
+			rootState = state
 		}
 		switch sol.Status {
 		case Infeasible:
@@ -217,15 +234,20 @@ func SolveMILPContext(ctx context.Context, p *Problem, opts MILPOptions) (*Solut
 		stack = append(stack, children...)
 	}
 
+	var rootBasis *Basis
+	if rootState != nil {
+		rootBasis = &Basis{state: rootState}
+	}
 	if best == nil {
 		// No integral solution found. When the search was truncated this is
 		// not a proof of infeasibility, but the status vocabulary has no
 		// separate word for it; callers that care (route's restricted
 		// masters warm-start an incumbent precisely so a truncated search
 		// still has an answer) can distinguish via Nodes >= MaxNodes.
-		return &Solution{Status: Infeasible, Nodes: nodes}, nil
+		return &Solution{Status: Infeasible, Nodes: nodes, Basis: rootBasis}, nil
 	}
 	best.Nodes = nodes
+	best.Basis = rootBasis
 	if !truncated {
 		best.Status = Optimal
 	}

@@ -1,0 +1,15 @@
+package lp
+
+// Basis is an opaque snapshot of an optimal simplex basis, exported so
+// callers can resume a closely related solve where the last one left off.
+// SolveMILP returns the basis of the root LP relaxation in
+// Solution.Basis; passing it back via MILPOptions.RootBasis warm-starts
+// the next solve's root from it (dual-simplex restoration instead of a
+// two-phase crash). The snapshot is tied to the problem *shape* — row
+// count, variable count, constraint senses — not to the exact
+// coefficients: a basis from a problem of different shape is detected by
+// the solver and silently ignored (the root solves cold), so callers can
+// hand back a stale basis across incremental re-solves without guarding.
+type Basis struct {
+	state *basisState
+}

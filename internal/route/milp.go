@@ -59,6 +59,28 @@ type MILPSelector struct {
 	// simplex instead of the sparse warm-started engine. Benchmarking and
 	// cross-validation only.
 	DenseLP bool
+	// Warm, when non-nil, makes the selection resumable: the previous
+	// solve's route set seeds the candidate pool and the branch-and-bound
+	// incumbent, its root LP basis warm-starts the first restricted
+	// master, and after a successful solve the context is updated in
+	// place for the next round. Incumbent routes that no longer fit the
+	// flow network (a channel died, a CDG edge disappeared) are patched
+	// per flow with a fresh candidate — the repaired hybrid keeps the
+	// surviving optimization work — so a stale context degrades
+	// gracefully toward a cold solve.
+	Warm *WarmStart
+}
+
+// WarmStart carries resumable state across incremental re-syntheses of
+// the same flow set on a mutating topology. The zero value is a valid
+// cold start; after each successful SelectContext the selector overwrites
+// the fields with the new solution.
+type WarmStart struct {
+	// Incumbent is the most recent route set.
+	Incumbent *Set
+	// Basis is the root-relaxation basis of the most recent restricted
+	// master (see lp.Solution.Basis).
+	Basis *lp.Basis
 }
 
 // Name implements Selector.
@@ -156,6 +178,30 @@ func (ms MILPSelector) SelectContext(ctx context.Context, g *flowgraph.Graph) (*
 		bestSet *Set
 		bestMCL float64
 	)
+
+	// A resumable warm-start context seeds the pool with the previous
+	// solve's routes, per flow, wherever the route still fits the (possibly
+	// degraded) flow network. The surviving paths are kept for incumbent
+	// repair below.
+	var rootBasis *lp.Basis
+	var warmPaths []flowgraph.Path
+	if ms.Warm != nil {
+		rootBasis = ms.Warm.Basis
+		if inc := ms.Warm.Incumbent; inc != nil && len(inc.Routes) == len(flows) {
+			warmPaths = make([]flowgraph.Path, len(flows))
+			for i, r := range inc.Routes {
+				p, ok := pathOnGraph(g, flows[i], r)
+				if !ok || len(p) > budgets[i] {
+					continue
+				}
+				warmPaths[i] = p
+				if k := chanKey(g, p); !seen[i][k] {
+					seen[i][k] = true
+					candidates[i] = append(candidates[i], p)
+				}
+			}
+		}
+	}
 	for seedOff := int64(0); seedOff < 3; seedOff++ {
 		sel := DijkstraSelector{}
 		if seedOff > 0 {
@@ -190,17 +236,51 @@ func (ms MILPSelector) SelectContext(ctx context.Context, g *flowgraph.Graph) (*
 		}
 	}
 
+	// Repair the previous solution onto the degraded graph: keep every
+	// surviving route and patch the broken flows with a legal candidate.
+	// The hybrid preserves most of the previous optimization work, so it
+	// usually beats the fresh Dijkstra seed as the branch-and-bound
+	// incumbent — and it is the committed answer when the node budget
+	// truncates the search.
+	if warmPaths != nil {
+		routes := make([]Route, len(flows))
+		for i := range flows {
+			p := warmPaths[i]
+			if p == nil {
+				p = candidates[i][0]
+			}
+			routes[i] = routeFromPath(g, i, p)
+		}
+		hybrid := &Set{Topo: g.Topology(), Routes: routes}
+		if mcl, _ := hybrid.MCL(); bestSet == nil || mcl < bestMCL {
+			bestSet, bestMCL = hybrid, mcl
+		}
+	}
+
 	rng := rand.New(rand.NewSource(ms.Seed + 1))
+	var lastBasis *lp.Basis
 	for round := 0; ; round++ {
-		set, err := ms.solveRestricted(ctx, g, candidates, seen, bestSet)
+		set, basis, err := ms.solveRestricted(ctx, g, candidates, seen, bestSet, rootBasis)
 		if err != nil {
 			return nil, err
+		}
+		// The carried-over basis only fits the first master; refinement
+		// rounds grow the candidate set and with it the problem shape.
+		rootBasis = nil
+		if basis != nil {
+			lastBasis = basis
 		}
 		mcl, _ := set.MCL()
 		if bestSet == nil || mcl < bestMCL-1e-9 {
 			bestSet, bestMCL = set, mcl
-		} else if round > 0 {
-			break // no improvement from the last refinement
+		} else if round > 0 || warmPaths != nil {
+			// No improvement: stop after a non-improving refinement round —
+			// or immediately when warm-started, because the repaired
+			// incumbent already embodies a previous solve's refinement
+			// work and re-running the rounds only re-proves it. A stale
+			// incumbent the master does improve on keeps the full
+			// refinement schedule.
+			break
 		}
 		if round >= ms.Refinements {
 			break
@@ -209,7 +289,45 @@ func (ms MILPSelector) SelectContext(ctx context.Context, g *flowgraph.Graph) (*
 			break // no new candidate paths could be generated
 		}
 	}
+	if ms.Warm != nil {
+		ms.Warm.Incumbent = bestSet
+		ms.Warm.Basis = lastBasis
+	}
 	return bestSet, nil
+}
+
+// pathOnGraph lifts a previously selected route onto g's CDG, verifying
+// the flow endpoints, that every channel is still alive in g's topology,
+// and that every (channel, VC) transition is a dependence edge of the
+// (possibly different) CDG. Returns false when the route no longer fits.
+func pathOnGraph(g *flowgraph.Graph, f flowgraph.Flow, r Route) (flowgraph.Path, bool) {
+	if len(r.Channels) == 0 || r.Flow.Src != f.Src || r.Flow.Dst != f.Dst {
+		return nil, false
+	}
+	topo := g.Topology()
+	dag := g.CDG()
+	p := make(flowgraph.Path, len(r.Channels))
+	for k, ch := range r.Channels {
+		if int(ch) < 0 || int(ch) >= topo.NumChannels() ||
+			r.VCs[k] < 0 || r.VCs[k] >= dag.VCs() {
+			return nil, false
+		}
+		alive := false
+		for _, id := range topo.OutChannels(topo.Channel(ch).Src) {
+			if id == ch {
+				alive = true
+				break
+			}
+		}
+		if !alive {
+			return nil, false
+		}
+		p[k] = dag.Vertex(ch, r.VCs[k])
+		if k > 0 && !dag.HasEdge(p[k-1], p[k]) {
+			return nil, false
+		}
+	}
+	return p, true
 }
 
 // solveRestricted builds and solves the path-based MILP over the current
@@ -220,7 +338,8 @@ func (ms MILPSelector) SelectContext(ctx context.Context, g *flowgraph.Graph) (*
 //	      sum_{i,p crossing channel e} d_i x[i][p] <= U   for every channel e
 //	      x binary, U >= 0
 func (ms MILPSelector) solveRestricted(ctx context.Context, g *flowgraph.Graph,
-	candidates [][]flowgraph.Path, seen []map[string]bool, incumbent *Set) (*Set, error) {
+	candidates [][]flowgraph.Path, seen []map[string]bool, incumbent *Set,
+	rootBasis *lp.Basis) (*Set, *lp.Basis, error) {
 
 	flows := g.Flows()
 	p := lp.NewProblem()
@@ -310,7 +429,7 @@ func (ms MILPSelector) solveRestricted(ctx context.Context, g *flowgraph.Graph,
 		p.AddConstraint(row, lp.LE, 0)
 	}
 
-	opts := lp.MILPOptions{MaxNodes: ms.MaxNodes, Gap: ms.Gap}
+	opts := lp.MILPOptions{MaxNodes: ms.MaxNodes, Gap: ms.Gap, RootBasis: rootBasis}
 	if ms.DenseLP {
 		opts.Engine = lp.EngineDense
 	}
@@ -330,16 +449,16 @@ func (ms MILPSelector) solveRestricted(ctx context.Context, g *flowgraph.Graph,
 	}
 	sol, err := lp.SolveMILPContext(ctx, p, opts)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if sol.Status != lp.Optimal && sol.Status != lp.Feasible {
 		// A truncated search without incumbent cannot distinguish
 		// infeasibility from an exhausted node budget; the warm-started
 		// incumbent (when present) is the answer in either case.
 		if incumbent != nil {
-			return incumbent, nil
+			return incumbent, sol.Basis, nil
 		}
-		return nil, fmt.Errorf("route: MILP returned %v", sol.Status)
+		return nil, nil, fmt.Errorf("route: MILP returned %v", sol.Status)
 	}
 	routes := make([]Route, len(flows))
 	assigned := make([]bool, len(flows))
@@ -351,10 +470,10 @@ func (ms MILPSelector) solveRestricted(ctx context.Context, g *flowgraph.Graph,
 	}
 	for i, ok := range assigned {
 		if !ok {
-			return nil, fmt.Errorf("route: MILP left flow %s unrouted", flows[i].Name)
+			return nil, nil, fmt.Errorf("route: MILP left flow %s unrouted", flows[i].Name)
 		}
 	}
-	return &Set{Topo: g.Topology(), Routes: routes}, nil
+	return &Set{Topo: g.Topology(), Routes: routes}, sol.Basis, nil
 }
 
 // refine adds load-aware alternative candidate paths for flows crossing

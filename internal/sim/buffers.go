@@ -30,7 +30,13 @@ type flitRef struct {
 // packet metadata; flits reference packets by index, and delivered
 // records are recycled through Simulator.freePkts.
 type packet struct {
-	flow    int32
+	flow int32
+	// epoch is the routing-table generation the packet was launched under
+	// (assigned when its transfer starts streaming flits). Lookups go to
+	// tables[epoch], so a packet finishes on the route it started with
+	// even after a newer table is swapped in — a newer table's default
+	// "eject here" entries would mis-eject a mid-route packet.
+	epoch   int32
 	createT int64 // cycle the packet entered its source queue
 	enterT  int64 // cycle the header flit entered the injection buffer
 	doneT   int64

@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/cdg"
+	"repro/internal/flowgraph"
+	"repro/internal/route"
+	"repro/internal/topology"
+)
+
+// churnSetup builds a 4x4 mesh with crossing flows and two route sets:
+// the initial up*/down* set and, lazily, whatever a caller re-routes.
+func churnSetup(t *testing.T) (topology.Grid, []flowgraph.Flow, *route.Set) {
+	t.Helper()
+	m := topology.NewMesh(4, 4)
+	flows := []flowgraph.Flow{
+		{ID: 0, Name: "f0", Src: 0, Dst: 15, Demand: 4},
+		{ID: 1, Name: "f1", Src: 15, Dst: 0, Demand: 4},
+		{ID: 2, Name: "f2", Src: 3, Dst: 12, Demand: 2},
+		{ID: 3, Name: "f3", Src: 12, Dst: 3, Demand: 2},
+	}
+	set, err := route.ShortestPath{VCs: 2}.Routes(m, flows)
+	if err != nil {
+		t.Fatalf("initial routes: %v", err)
+	}
+	return m, flows, set
+}
+
+// escapeOn synthesizes a dead-avoiding escape set over the overlay.
+func escapeOn(t *testing.T, overlay *topology.FaultOverlay, flows []flowgraph.Flow) *route.Set {
+	t.Helper()
+	sp := route.ShortestPath{VCs: 2, Breaker: cdg.UpDownEscapeBreaker{Root: 0}}
+	set, err := sp.Routes(overlay, flows)
+	if err != nil {
+		t.Fatalf("escape routes: %v", err)
+	}
+	return set
+}
+
+// linkPairOf returns ch and its direction-opposite reverse.
+func linkPairOf(t *testing.T, m topology.Topology, ch topology.ChannelID) []topology.ChannelID {
+	t.Helper()
+	c := m.Channel(ch)
+	for _, back := range m.OutChannels(c.Dst) {
+		if bc := m.Channel(back); bc.Dst == c.Src && bc.Dir == c.Dir.Opposite() {
+			return []topology.ChannelID{ch, back}
+		}
+	}
+	t.Fatalf("channel %d has no reverse", ch)
+	return nil
+}
+
+// runChurnOnce drives a fault through the purge + swap protocol with the
+// full-scan invariant checker on every cycle, under either purge policy.
+func runChurnOnce(t *testing.T, requeue bool) *Result {
+	t.Helper()
+	m, flows, set := churnSetup(t)
+	s, err := New(Config{
+		Mesh: m, Routes: set, VCs: 2,
+		OfferedRate:  0.5,
+		WarmupCycles: 1000, MeasureCycles: 5000,
+		Seed: 7,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s.checkEvery = 1 // every cycle: the purge must leave a consistent state
+
+	ctx := context.Background()
+	if dead, err := s.Advance(ctx, 2000); err != nil || dead {
+		t.Fatalf("warm advance: dead=%v err=%v", dead, err)
+	}
+
+	// Fail the first link of flow 0's route (both directions).
+	pair := linkPairOf(t, m, set.Routes[0].Channels[0])
+	overlay := topology.NewFaultOverlay(m)
+	overlay.Disable(pair...)
+	stats := s.DisableChannels(requeue, pair...)
+	if requeue {
+		if stats.Packets != 0 {
+			t.Fatalf("requeue policy dropped %d packets", stats.Packets)
+		}
+	} else if stats.Requeued != 0 {
+		t.Fatalf("drop policy requeued %d packets", stats.Requeued)
+	}
+	if err := s.SwapRoutes(escapeOn(t, overlay, flows)); err != nil {
+		t.Fatalf("SwapRoutes: %v", err)
+	}
+	if s.Epoch() != 1 {
+		t.Fatalf("epoch %d after swap, want 1", s.Epoch())
+	}
+
+	dead, err := s.Advance(ctx, 6000)
+	if err != nil {
+		t.Fatalf("post-fault advance: %v", err)
+	}
+	if dead {
+		t.Fatalf("deadlocked on the escape layer")
+	}
+	return s.Finish(false)
+}
+
+func TestChurnPurgeInvariantsDrop(t *testing.T) {
+	res := runChurnOnce(t, false)
+	if res.DroppedFlits == 0 {
+		t.Errorf("no flits dropped by the fault; the purge path was not exercised")
+	}
+	if res.PacketsDelivered == 0 {
+		t.Errorf("nothing delivered after the fault")
+	}
+	if res.RequeuedPackets != 0 {
+		t.Errorf("drop policy requeued %d packets", res.RequeuedPackets)
+	}
+}
+
+func TestChurnPurgeInvariantsRequeue(t *testing.T) {
+	res := runChurnOnce(t, true)
+	if res.RequeuedPackets == 0 {
+		t.Errorf("no packets requeued by the fault; the requeue path was not exercised")
+	}
+	if res.DroppedPackets != 0 {
+		t.Errorf("requeue policy dropped %d packets", res.DroppedPackets)
+	}
+}
+
+// TestChurnSwapRejectsBadSets pins the SwapRoutes validation surface.
+func TestChurnSwapRejectsBadSets(t *testing.T) {
+	m, flows, set := churnSetup(t)
+	s, err := New(Config{Mesh: m, Routes: set, VCs: 2, OfferedRate: 0.2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+
+	// Wrong flow count.
+	if err := s.SwapRoutes(&route.Set{Topo: m, Routes: set.Routes[:2]}); err == nil {
+		t.Errorf("swap with missing flows accepted")
+	}
+
+	// Route crossing a dead channel.
+	pair := linkPairOf(t, m, set.Routes[0].Channels[0])
+	s.DisableChannels(false, pair...)
+	if err := s.SwapRoutes(set); err == nil {
+		t.Errorf("swap crossing a dead channel accepted")
+	}
+
+	// A valid escape set is accepted, and repairing the link re-admits the
+	// original set.
+	overlay := topology.NewFaultOverlay(m)
+	overlay.Disable(pair...)
+	if err := s.SwapRoutes(escapeOn(t, overlay, flows)); err != nil {
+		t.Errorf("valid escape set rejected: %v", err)
+	}
+	s.EnableChannels(pair...)
+	if err := s.SwapRoutes(set); err != nil {
+		t.Errorf("original set rejected after repair: %v", err)
+	}
+	if s.Epoch() != 2 {
+		t.Errorf("epoch %d, want 2 after two swaps", s.Epoch())
+	}
+}
+
+// TestChurnDeterministicAcrossRuns pins byte-level determinism of the
+// full churn path: two identical runs must agree on every counter.
+func TestChurnDeterministicAcrossRuns(t *testing.T) {
+	a := runChurnOnce(t, false)
+	b := runChurnOnce(t, false)
+	if !reflect.DeepEqual(a, b) {
+		t.Logf("a=%+v", a)
+		t.Logf("b=%+v", b)
+		t.Fatalf("identical churn runs diverged")
+	}
+}

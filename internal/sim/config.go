@@ -175,4 +175,11 @@ type Result struct {
 	FlitHops int64
 	// Deadlocked is set when the watchdog aborted the run.
 	Deadlocked bool
+	// DroppedFlits / DroppedPackets count in-flight state purged by
+	// DisableChannels under the drop policy; RequeuedPackets counts
+	// packets pushed back to their source queues under the requeue
+	// policy. All zero in a fault-free run.
+	DroppedFlits    int64
+	DroppedPackets  int64
+	RequeuedPackets int64
 }

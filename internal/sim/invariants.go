@@ -184,6 +184,28 @@ func (s *Simulator) checkInvariants() error {
 		return fmt.Errorf("cycle %d: %d buffered flits but inFlight=%d", s.cycle, totalFlits, s.inFlight)
 	}
 
+	// Dead channels (DisableChannels) must be fully quiesced: no buffered
+	// flits, no claimed VCs, and no waiter routed toward them. A violation
+	// means a route set crossing a dead channel stayed installed past the
+	// fault barrier (see the SwapRoutes contract in churn.go).
+	for ch := int32(0); int(ch) < nc && s.deadChan != nil; ch++ {
+		if !s.deadChan[ch] {
+			continue
+		}
+		if s.chanWait[ch] >= 0 {
+			return fmt.Errorf("cycle %d: dead channel %d has switch-allocation waiters", s.cycle, ch)
+		}
+		if s.vaWait[ch] >= 0 {
+			return fmt.Errorf("cycle %d: dead channel %d has VA waiters", s.cycle, ch)
+		}
+		for v := int32(0); v < s.nVCs; v++ {
+			if b := &s.bufs[ch*s.nVCs+v]; b.owner >= 0 || b.count > 0 {
+				return fmt.Errorf("cycle %d: dead channel %d VC %d not quiesced (owner=%d count=%d)",
+					s.cycle, ch, v, b.owner, b.count)
+			}
+		}
+	}
+
 	// Arrival bookkeeping: every positive-rate flow is either scheduled in
 	// the heap or paused on a full source queue (geometric mode only).
 	if s.cfg.RateVariation == nil {

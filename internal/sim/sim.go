@@ -30,10 +30,19 @@ import (
 // buffer. See buffers.go for the flat buffer layout and DESIGN.md §8 for
 // the invariants (which internal tests cross-check against a full scan).
 type Simulator struct {
-	cfg   Config
-	mesh  topology.Topology
-	table *routingTable
-	rng   *rand.Rand
+	cfg  Config
+	mesh topology.Topology
+	// tables holds one flat routing table per epoch; SwapRoutes appends.
+	// Every table is retained for the lifetime of the run: in-flight
+	// packets look up the epoch they were launched under, and with a
+	// bounded number of swaps (one escape + one repair per fault event)
+	// the retained set stays small.
+	tables   []*routingTable
+	curEpoch int32
+	// deadChan marks channels failed by DisableChannels; nil until the
+	// first fault (zero-churn runs never allocate or consult it).
+	deadChan []bool
+	rng      *rand.Rand
 
 	// Flat geometry: see buffers.go.
 	nVCs    int32
@@ -91,6 +100,11 @@ type Simulator struct {
 	delivered int64
 	flitHops  int64
 
+	// Fault accounting (see DisableChannels).
+	droppedFlits   int64
+	droppedPackets int64
+	requeuedPkts   int64
+
 	// checkEvery > 0 runs the full-scan invariant checker every that many
 	// cycles (tests only; see invariants.go).
 	checkEvery int64
@@ -127,10 +141,10 @@ func New(cfg Config) (*Simulator, error) {
 		return nil, err
 	}
 	s := &Simulator{
-		cfg:   cfg,
-		mesh:  cfg.Mesh,
-		table: tbl,
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		cfg:    cfg,
+		mesh:   cfg.Mesh,
+		tables: []*routingTable{tbl},
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
 	}
 	nc := s.mesh.NumChannels()
 	nn := s.mesh.NumNodes()
@@ -212,11 +226,46 @@ func (s *Simulator) Run() (*Result, error) {
 // window would be silently biased toward warm-up behavior.
 func (s *Simulator) RunContext(ctx context.Context) (*Result, error) {
 	total := s.cfg.WarmupCycles + s.cfg.MeasureCycles
-	deadlocked := false
-	for s.cycle = 0; s.cycle < total; s.cycle++ {
+	deadlocked, err := s.advance(ctx, total)
+	if err != nil {
+		return nil, err
+	}
+	return s.buildResult(deadlocked), nil
+}
+
+// Advance steps the simulation forward to absolute cycle target (a no-op
+// when already there), for callers that interleave simulation with live
+// reconfiguration — apply faults with DisableChannels, swap tables with
+// SwapRoutes, then Advance again. It reports whether the deadlock
+// watchdog fired; after a deadlock the state is frozen and further calls
+// return immediately. Collect the final statistics with Finish.
+func (s *Simulator) Advance(ctx context.Context, target int64) (deadlocked bool, err error) {
+	return s.advance(ctx, target)
+}
+
+// Cycle returns the current simulation cycle.
+func (s *Simulator) Cycle() int64 { return s.cycle }
+
+// DeliveredTotal returns packets delivered since cycle 0 (warmup
+// included), the raw series churn supervisors difference to measure
+// throughput dips.
+func (s *Simulator) DeliveredTotal() int64 { return s.delivered }
+
+// Epoch returns the current routing-table epoch (0 before any swap).
+func (s *Simulator) Epoch() int32 { return s.curEpoch }
+
+// Finish assembles the Result after stepping with Advance.
+func (s *Simulator) Finish(deadlocked bool) *Result { return s.buildResult(deadlocked) }
+
+// advance runs the cycle loop up to (not past) absolute cycle target,
+// polling ctx every 1024 cycles. On deadlock it returns with s.cycle
+// frozen at the detecting cycle, matching the pre-stepping-API behavior
+// of Run (Result.Cycles reports the cycle the watchdog fired on).
+func (s *Simulator) advance(ctx context.Context, target int64) (deadlocked bool, err error) {
+	for ; s.cycle < target; s.cycle++ {
 		if s.cycle&1023 == 0 {
 			if err := ctx.Err(); err != nil {
-				return nil, err
+				return false, err
 			}
 		}
 		s.generate()
@@ -226,14 +275,17 @@ func (s *Simulator) RunContext(ctx context.Context) (*Result, error) {
 		s.applyStaged()
 		if s.checkEvery > 0 && s.cycle%s.checkEvery == 0 {
 			if err := s.checkInvariants(); err != nil {
-				return nil, err
+				return false, err
 			}
 		}
 		if s.inFlight > 0 && s.cycle-s.lastMove > s.cfg.DeadlockCycles {
-			deadlocked = true
-			break
+			return true, nil
 		}
 	}
+	return false, nil
+}
+
+func (s *Simulator) buildResult(deadlocked bool) *Result {
 	res := &Result{
 		Cycles:           s.cycle,
 		PacketsInjected:  s.mInjected,
@@ -241,6 +293,9 @@ func (s *Simulator) RunContext(ctx context.Context) (*Result, error) {
 		PerFlowDelivered: s.perFlow,
 		FlitHops:         s.flitHops,
 		Deadlocked:       deadlocked,
+		DroppedFlits:     s.droppedFlits,
+		DroppedPackets:   s.droppedPackets,
+		RequeuedPackets:  s.requeuedPkts,
 	}
 	if s.cfg.MeasureCycles > 0 {
 		res.Throughput = float64(s.mDelivered) / float64(s.cfg.MeasureCycles)
@@ -259,7 +314,7 @@ func (s *Simulator) RunContext(ctx context.Context) (*Result, error) {
 		merged.Merge(&s.perFlowLat[i])
 	}
 	res.LatencyStd = merged.Std()
-	return res, nil
+	return res
 }
 
 // maxSourceQueue bounds open-loop generation so saturated runs stay in
@@ -317,6 +372,7 @@ func (s *Simulator) injectNode(n int32) {
 		}
 		bi := s.injBase + n*s.nVCs + vc
 		s.bufs[bi].owner = pkt
+		s.packets[pkt].epoch = s.curEpoch // routed by the table of launch time
 		s.transfer[fi] = injTransfer{pkt: pkt, nextIdx: 0, buf: bi}
 		s.rrInj[n] = (rr + k + 1) % nf
 	}
@@ -389,7 +445,8 @@ func (s *Simulator) routeAndAllocate() {
 		if bi < s.injBase {
 			arrival = topology.ChannelID(bi / s.nVCs)
 		}
-		entry := s.table.lookup(int(s.packets[head.pkt].flow), arrival)
+		p := &s.packets[head.pkt]
+		entry := s.tables[p.epoch].lookup(int(p.flow), arrival)
 		if entry.next == topology.InvalidChannel {
 			b.pending = false
 			b.active, b.eject = true, true

@@ -1,0 +1,19 @@
+package topology
+
+import "fmt"
+
+// TooManyFaultsError reports that a fault-injection request asked for more
+// link removals than the topology can lose while staying strongly
+// connected. Requested is the asked-for fault count, Removable how many
+// links were actually removable under the connectivity guarantee.
+type TooManyFaultsError struct {
+	Requested int
+	Removable int
+	Width     int
+	Height    int
+}
+
+func (e *TooManyFaultsError) Error() string {
+	return fmt.Sprintf("topology: only %d of %d links removable from %dx%d grid without disconnecting it",
+		e.Removable, e.Requested, e.Width, e.Height)
+}

@@ -279,8 +279,10 @@ func Faulted(g Grid, seed int64, nFaults int) (*Graph, error) {
 		removed[ids[0]], removed[ids[1]] = false, false
 	}
 	if removedLinks < nFaults {
-		return nil, fmt.Errorf("topology: only %d of %d links removable from %dx%d grid without disconnecting it",
-			removedLinks, nFaults, g.Width(), g.Height())
+		return nil, &TooManyFaultsError{
+			Requested: nFaults, Removable: removedLinks,
+			Width: g.Width(), Height: g.Height(),
+		}
 	}
 
 	b := NewBuilder(fmt.Sprintf("faulted-%dx%d-f%d-s%d", g.Width(), g.Height(), nFaults, seed))
