@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 	"repro/internal/route"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -208,14 +209,25 @@ func BenchmarkFig54InjectionTrace(b *testing.B) {
 // ~13.8k cycles/sec on this curve in the reference container; the
 // active-set core is required to stay >= 3x above that.
 func BenchmarkSimCycles(b *testing.B) {
+	// The -metrics variants attach a live collector: the instrumented and
+	// plain runs must stay within the documented <2% overhead budget
+	// (DESIGN.md §14) because the simulator flushes counters only at its
+	// existing 1024-cycle poll, never per cycle.
 	for _, tc := range []struct {
-		name string
-		w, h int
+		name    string
+		w, h    int
+		metrics bool
 	}{
-		{"mesh8x8", 8, 8},
-		{"mesh16x16", 16, 16},
+		{"mesh8x8", 8, 8, false},
+		{"mesh8x8-metrics", 8, 8, true},
+		{"mesh16x16", 16, 16, false},
+		{"mesh16x16-metrics", 16, 16, true},
 	} {
 		b.Run(tc.name, func(b *testing.B) {
+			var coll *metrics.Collector
+			if tc.metrics {
+				coll = metrics.New()
+			}
 			m := topology.NewMesh(tc.w, tc.h)
 			flows, err := traffic.Transpose(m, 10)
 			if err != nil {
@@ -233,6 +245,7 @@ func BenchmarkSimCycles(b *testing.B) {
 					s, err := sim.New(sim.Config{
 						Mesh: m, Routes: set, VCs: 2, OfferedRate: rate,
 						WarmupCycles: 2000, MeasureCycles: 10000, Seed: 1,
+						Metrics: coll,
 					})
 					if err != nil {
 						b.Fatal(err)

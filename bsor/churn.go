@@ -193,8 +193,9 @@ type ChurnResult struct {
 
 // RunChurn validates and executes the churn specs. Results are indexed
 // like specs and deterministic for any worker count. Of the pipeline
-// options only WithWorkers applies. Invalid specs fail the whole call
-// with a *SpecError; runtime failures are reported per result.
+// options only WithWorkers and WithMetrics apply. Invalid specs fail the
+// whole call with a *SpecError; runtime failures are reported per
+// result.
 func RunChurn(ctx context.Context, specs []ChurnSpec, opts ...Option) ([]ChurnResult, error) {
 	cfg := defaultConfig()
 	for _, opt := range opts {
@@ -210,7 +211,7 @@ func RunChurn(ctx context.Context, specs []ChurnSpec, opts ...Option) ([]ChurnRe
 		}
 		engineSpecs[i] = s.spec()
 	}
-	r := &experiments.Runner{Workers: cfg.workers, WorkloadFn: registryHook}
+	r := &experiments.Runner{Workers: cfg.workers, WorkloadFn: registryHook, Metrics: cfg.metrics}
 	raw, err := r.RunChurn(ctx, engineSpecs)
 	if err != nil {
 		return nil, err

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 	"repro/internal/route"
 )
 
@@ -75,6 +76,7 @@ type config struct {
 	milpSet   bool
 	sim       SimSpec
 	certify   bool
+	metrics   *metrics.Collector
 }
 
 func defaultConfig() config {
@@ -90,9 +92,37 @@ type Option func(*config)
 func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
 
 // WithProgress installs a progress callback invoked after each completed
-// unit of work with the running and total counts. Calls are serialized.
+// unit of work with the running and total counts.
+//
+// Contract: calls are serialized under a pipeline-owned mutex — fn never
+// runs concurrently with itself, even with WithWorkers(n > 1) — and done
+// increases by exactly one per call, from 1 to total (or fewer after
+// cancellation). fn needs no locking of its own for state only it
+// touches, but it runs on an engine worker goroutine (not the caller's),
+// so it must not block for long and must not call back into the
+// Pipeline. The serialization is the pipeline's own guarantee and does
+// not rely on the engine serializing result delivery.
 func WithProgress(fn func(done, total int)) Option {
 	return func(c *config) { c.progress = fn }
+}
+
+// progressFn returns the serialized per-unit progress reporter that
+// implements the WithProgress contract: the counter increment and the
+// callback invocation happen under one mutex, so calls are totally
+// ordered with monotonically increasing done values regardless of how
+// many workers deliver results.
+func (c *config) progressFn(total int) func() {
+	if c.progress == nil {
+		return func() {}
+	}
+	var mu sync.Mutex
+	done := 0
+	return func() {
+		mu.Lock()
+		defer mu.Unlock()
+		done++
+		c.progress(done, total)
+	}
 }
 
 // WithSelector sets the default algorithm for specs that leave Algorithm
@@ -200,6 +230,7 @@ func (c config) runner() *experiments.Runner {
 		Workers:    c.workers,
 		WorkloadFn: registryHook,
 		Certify:    c.certify,
+		Metrics:    c.metrics,
 	}
 	if c.milpSet || c.workers > 0 {
 		milp := c.milp
@@ -233,8 +264,7 @@ func (p *Pipeline) Run(ctx context.Context) (<-chan Result, error) {
 	r := p.ensureRunner()
 	out := make(chan Result)
 	jobs := p.jobs
-	total := len(jobs)
-	done := 0
+	progress := p.cfg.progressFn(len(jobs))
 	go func() {
 		defer close(out)
 		_ = r.Stream(ctx, jobs, func(i int, res experiments.Result) {
@@ -244,10 +274,7 @@ func (p *Pipeline) Run(ctx context.Context) (<-chan Result, error) {
 			case out <- converted:
 			case <-ctx.Done():
 			}
-			done++
-			if p.cfg.progress != nil {
-				p.cfg.progress(done, total)
-			}
+			progress()
 		})
 	}()
 	return out, nil
@@ -263,13 +290,10 @@ func (p *Pipeline) RunAll(ctx context.Context) ([]Result, error) {
 	results := make([]Result, 0, total)
 	filled := make([]bool, total)
 	raw := make([]experiments.Result, total)
-	done := 0
+	progress := p.cfg.progressFn(total)
 	err := r.Stream(ctx, jobs, func(i int, res experiments.Result) {
 		raw[i], filled[i] = res, true
-		done++
-		if p.cfg.progress != nil {
-			p.cfg.progress(done, total)
-		}
+		progress()
 	})
 	for i := range raw {
 		if !filled[i] {

@@ -30,6 +30,9 @@
 //	experiments -figure 6-1 -cpuprofile cpu.prof   # profile a sweep
 //	experiments -figure 6-1 -memprofile mem.prof   # heap profile on exit
 //
+//	experiments -filter churn-16 -metrics -              # Prometheus snapshot to stderr on exit
+//	experiments -filter churn-16 -metrics localhost:9090 # serve /metrics and /debug/vars live
+//
 // -fast trims the simulated cycle counts and the MILP budget (useful for
 // smoke runs); the defaults are the thesis' 20k warmup + 100k measured
 // cycles. Results are deterministic for a given seed regardless of
@@ -39,8 +42,11 @@ package main
 
 import (
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"path"
 	"runtime"
@@ -48,6 +54,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 	"repro/internal/viz"
 )
 
@@ -64,6 +71,8 @@ var (
 	workers    = flag.Int("workers", 0, "worker-pool size (0 = NumCPU)")
 	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+	metricsDst = flag.String("metrics", "",
+		`metrics sink: "-" (or "stderr") dumps a Prometheus text snapshot to stderr on exit; any other value is a listen address serving /metrics and /debug/vars during the run. Metrics are out-of-band: stdout (-json, -jobs) is byte-identical with or without them`)
 )
 
 func milpSelector() experiments.Selector {
@@ -385,7 +394,15 @@ func runMain() int {
 		return 0
 	}
 
-	runner := &experiments.Runner{Workers: *workers, MILP: milpSelector()}
+	collector, err := setupMetrics(*metricsDst)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if collector != nil && (*metricsDst == "-" || *metricsDst == "stderr") {
+		defer dumpMetrics(collector)
+	}
+	runner := &experiments.Runner{Workers: *workers, MILP: milpSelector(), Metrics: collector}
 	defer reportSimRate(runner)
 	ran := false
 	var jsonResults []experiments.Result
@@ -512,6 +529,46 @@ func cyclesOrNever(c int64) string {
 		return "never (within horizon)"
 	}
 	return fmt.Sprintf("%d cycles", c)
+}
+
+// setupMetrics builds the collector the -metrics flag asks for: nil when
+// the flag is empty, snapshot-on-exit mode for "-"/"stderr", or a live
+// HTTP endpoint serving /metrics (Prometheus text) and /debug/vars
+// (expvar) for any other value, treated as a listen address. Either way
+// the collector is published under the expvar name "bsor".
+func setupMetrics(dst string) (*metrics.Collector, error) {
+	if dst == "" {
+		return nil, nil
+	}
+	c := metrics.New()
+	if err := c.PublishExpvar("bsor"); err != nil {
+		return nil, err
+	}
+	if dst == "-" || dst == "stderr" {
+		return c, nil
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", c.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	ln, err := net.Listen("tcp", dst)
+	if err != nil {
+		return nil, fmt.Errorf("-metrics %s: %w", dst, err)
+	}
+	fmt.Fprintf(os.Stderr, "metrics: serving /metrics and /debug/vars on %s\n", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics:", err)
+		}
+	}()
+	return c, nil
+}
+
+// dumpMetrics writes the final Prometheus snapshot to stderr, keeping
+// stdout (the -json/-jobs documents) byte-identical to a metrics-off run.
+func dumpMetrics(c *metrics.Collector) {
+	if err := c.WritePrometheus(os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "metrics:", err)
+	}
 }
 
 // reportSimRate prints the aggregate simulation throughput of a run to

@@ -9,6 +9,7 @@ import (
 	"repro/internal/cdg"
 	"repro/internal/certify"
 	"repro/internal/flowgraph"
+	"repro/internal/metrics"
 	"repro/internal/route"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -95,6 +96,14 @@ type Supervisor struct {
 	// Requeue selects the purge policy for in-flight packets of broken
 	// flows: requeue at the source instead of dropping.
 	Requeue bool
+	// Metrics, when non-nil, counts churn activity out-of-band: fault
+	// events applied (churn_fault_events_total), escape-layer swaps
+	// (churn_escape_swaps_total), repaired-set commits
+	// (churn_commits_total), and background re-syntheses started
+	// (churn_resynth_total). Metrics never influence the schedule or the
+	// reports. Wire the same collector into Sim's Config and the Resynth
+	// selector (route.InstrumentContextSelector) for the full picture.
+	Metrics *metrics.Collector
 }
 
 // resynthResult carries one background solve back to the barrier.
@@ -175,6 +184,7 @@ func (sv *Supervisor) Run(ctx context.Context, total int64) (*sim.Result, []Even
 // window later.
 func (sv *Supervisor) applyEvent(ctx context.Context, ev Event, recovery int64, samples *sampler) (EventReport, error) {
 	rep := EventReport{Cycle: ev.Cycle, Failed: ev.Fail, Repaired: ev.Repair, RecoveryCycles: -1}
+	sv.Metrics.Counter("churn_fault_events_total").Inc()
 	if len(ev.Repair) > 0 {
 		sv.Overlay.Restore(ev.Repair...)
 		sv.Sim.EnableChannels(ev.Repair...)
@@ -200,6 +210,7 @@ func (sv *Supervisor) applyEvent(ctx context.Context, ev Event, recovery int64, 
 			return rep, fmt.Errorf("churn: escape swap at cycle %d: %w", ev.Cycle, err)
 		}
 		rep.EscapeEpoch = sv.Sim.Epoch()
+		sv.Metrics.Counter("churn_escape_swaps_total").Inc()
 	}
 
 	// Background re-synthesis on a snapshot of the degraded topology; the
@@ -208,6 +219,7 @@ func (sv *Supervisor) applyEvent(ctx context.Context, ev Event, recovery int64, 
 	sctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	results := make(chan resynthResult, 1)
+	sv.Metrics.Counter("churn_resynth_total").Inc()
 	go sv.resynthesize(sctx, results)
 
 	deadlocked, err := samples.advance(ctx, ev.Cycle+recovery)
@@ -234,6 +246,7 @@ func (sv *Supervisor) applyEvent(ctx context.Context, ev Event, recovery int64, 
 		}
 		rep.CommitCycle = sv.Sim.Cycle()
 		rep.CommitEpoch = sv.Sim.Epoch()
+		sv.Metrics.Counter("churn_commits_total").Inc()
 	}
 	return rep, nil
 }

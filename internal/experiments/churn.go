@@ -184,6 +184,8 @@ func (r *Runner) execChurn(ctx context.Context, spec ChurnSpec) (res ChurnResult
 		}
 	}()
 	res = ChurnResult{Spec: spec, MCL: -1}
+	r.bindMetrics()
+	r.Metrics.Counter("engine_churn_runs_total").Inc()
 	fail := func(err error) ChurnResult {
 		res.Err = err.Error()
 		res.cause = err
@@ -223,6 +225,9 @@ func (r *Runner) execChurn(ctx context.Context, spec ChurnSpec) (res ChurnResult
 	if err != nil {
 		return fail(err)
 	}
+	// The committed path reports pivots/retries; the cold comparison solve
+	// stays unobserved so it cannot inflate the committed-path counters.
+	resynth = route.InstrumentContextSelector(resynth, r.Metrics)
 	initial, err := resynth.SelectContext(ctx, fg)
 	if err != nil {
 		return fail(fmt.Errorf("experiments: initial churn synthesis: %w", err))
@@ -238,6 +243,7 @@ func (r *Runner) execChurn(ctx context.Context, spec ChurnSpec) (res ChurnResult
 		WarmupCycles:  spec.Warmup,
 		MeasureCycles: spec.Measure,
 		Seed:          spec.Seed + int64(spec.Rate*1000),
+		Metrics:       r.Metrics,
 	})
 	if err != nil {
 		return fail(err)
@@ -250,6 +256,7 @@ func (r *Runner) execChurn(ctx context.Context, spec ChurnSpec) (res ChurnResult
 		RecoveryWindow: spec.RecoveryWindow,
 		SampleWindow:   spec.SampleWindow,
 		Requeue:        spec.Requeue,
+		Metrics:        r.Metrics,
 	}
 	if spec.MeasureCold {
 		sv.ColdResynth = cold

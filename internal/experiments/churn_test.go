@@ -4,6 +4,8 @@ import (
 	"context"
 	"encoding/json"
 	"testing"
+
+	"repro/internal/metrics"
 )
 
 // churnTestSpecs are two small, fast specs exercising both purge policies.
@@ -122,6 +124,59 @@ func TestRunChurnMILPWarm(t *testing.T) {
 		if ev.ColdWall <= 0 {
 			t.Errorf("event %d: cold wall %v, want positive (MeasureCold set)", i, ev.ColdWall)
 		}
+	}
+}
+
+// TestRunChurnMetrics pins the churn instrumentation: fault events,
+// escape swaps, commits, and background re-syntheses are all counted,
+// purge totals match the result's own accounting, and the churn metrics
+// JSON stays byte-identical to an uninstrumented run.
+func TestRunChurnMetrics(t *testing.T) {
+	specs := churnTestSpecs()
+	plain := &Runner{Workers: 2}
+	base, err := plain.RunChurn(context.Background(), specs)
+	if err != nil {
+		t.Fatalf("RunChurn: %v", err)
+	}
+	m := metrics.New()
+	r := &Runner{Workers: 2, Metrics: m}
+	results, err := r.RunChurn(context.Background(), specs)
+	if err != nil {
+		t.Fatalf("RunChurn with metrics: %v", err)
+	}
+	bj, _ := json.Marshal(base)
+	rj, _ := json.Marshal(results)
+	if string(bj) != string(rj) {
+		t.Errorf("metrics changed churn results:\noff: %s\non:  %s", bj, rj)
+	}
+
+	wantFaults := int64(specs[0].Faults + specs[1].Faults)
+	for _, name := range []string{
+		"churn_fault_events_total",
+		"churn_escape_swaps_total",
+		"churn_commits_total",
+		"churn_resynth_total",
+	} {
+		if got := m.Counter(name).Value(); got != wantFaults {
+			t.Errorf("%s = %d, want %d", name, got, wantFaults)
+		}
+	}
+	if got := m.Counter("engine_churn_runs_total").Value(); got != int64(len(specs)) {
+		t.Errorf("engine_churn_runs_total = %d, want %d", got, len(specs))
+	}
+	var flits, requeued int64
+	for _, res := range results {
+		flits += res.Point.DroppedFlits
+		requeued += res.Point.RequeuedPackets
+	}
+	if got := m.Counter("sim_purged_flits_total").Value(); got != flits {
+		t.Errorf("sim_purged_flits_total = %d, want %d (result accounting)", got, flits)
+	}
+	if got := m.Counter("sim_requeued_packets_total").Value(); got != requeued {
+		t.Errorf("sim_requeued_packets_total = %d, want %d (result accounting)", got, requeued)
+	}
+	if got := m.Counter("sim_cycles_total").Value(); got <= 0 {
+		t.Errorf("sim_cycles_total = %d, want > 0", got)
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"repro/internal/certify"
 	"repro/internal/core"
 	"repro/internal/flowgraph"
+	"repro/internal/metrics"
 	"repro/internal/route"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -412,6 +413,17 @@ type Runner struct {
 	// Result.Cert; a rejection fails the job with the counterexample as
 	// its cause. Certification is memoized with the synthesis.
 	Certify bool
+	// Metrics, when non-nil, receives out-of-band instruments from the
+	// whole stack: engine job/cache/queue counters, the LP core's
+	// pivot/refactorization/node counters (selectors are instrumented on
+	// resolve), sim cycle counters, and churn counters. Metrics never
+	// influence scheduling or results — golden JSON stays byte-identical
+	// with metrics on or off at any worker count (pinned by tests).
+	Metrics *metrics.Collector
+
+	// instOnce guards the one-time registration of derived gauges
+	// (sim_cycles_per_sec) on Metrics.
+	instOnce sync.Once
 
 	cache synthCache
 
@@ -466,6 +478,24 @@ func (r *Runner) SimStats() (cycles, flitHops int64, wall time.Duration) {
 	return r.simCycles.Load(), r.simFlitHops.Load(), time.Duration(r.simWallNs.Load())
 }
 
+// bindMetrics registers the Runner's derived gauges on Metrics, once.
+// Called at the top of every sweep entry point so a Runner configured
+// after construction still binds.
+func (r *Runner) bindMetrics() {
+	if r.Metrics == nil {
+		return
+	}
+	r.instOnce.Do(func() {
+		r.Metrics.GaugeFunc("sim_cycles_per_sec", func() float64 {
+			cycles, _, wall := r.SimStats()
+			if wall <= 0 {
+				return 0
+			}
+			return float64(cycles) / wall.Seconds()
+		})
+	})
+}
+
 // Run executes jobs on the worker pool and returns one Result per job, in
 // job order — the ordering is independent of scheduling and completion
 // order, and every random stream is derived from the job itself, so a
@@ -504,6 +534,13 @@ func (r *Runner) Stream(ctx context.Context, jobs []Job, emit func(index int, re
 	if len(jobs) == 0 {
 		return ctx.Err()
 	}
+	r.bindMetrics()
+	// queueDepth tracks jobs not yet completed (queued + in flight);
+	// cancelled sweeps reset it to zero on return since the unfed jobs
+	// will never run.
+	queueDepth := r.Metrics.Gauge("engine_queue_depth")
+	queueDepth.Set(int64(len(jobs)))
+	defer queueDepth.Set(0)
 	idx := make(chan int)
 	var emitMu sync.Mutex
 	var wg sync.WaitGroup
@@ -513,6 +550,7 @@ func (r *Runner) Stream(ctx context.Context, jobs []Job, emit func(index int, re
 			defer wg.Done()
 			for i := range idx {
 				res := r.exec(ctx, jobs[i])
+				queueDepth.Add(-1)
 				if emit != nil {
 					emitMu.Lock()
 					emit(i, res)
@@ -558,6 +596,16 @@ func (r *Runner) topo(spec TopoSpec) (topology.Topology, error) {
 // are captured as per-job error results so one bad job cannot take down a
 // sweep.
 func (r *Runner) exec(ctx context.Context, j Job) (res Result) {
+	// Registered before the recover defer so it runs after it (LIFO) and
+	// sees the panic-patched result.
+	start := time.Now()
+	defer func() {
+		r.Metrics.Counter("engine_jobs_total").Inc()
+		if res.Err != "" {
+			r.Metrics.Counter("engine_job_errors_total").Inc()
+		}
+		r.Metrics.Timer("engine_job_seconds").Observe(time.Since(start))
+	}()
 	defer func() {
 		if p := recover(); p != nil {
 			res = Result{Job: j, MCL: -1, Err: fmt.Sprint(p), cause: fmt.Errorf("experiments: %v", p)}
@@ -573,7 +621,12 @@ func (r *Runner) exec(ctx context.Context, j Job) (res Result) {
 	if err != nil {
 		return fail(err)
 	}
+	// computed is only written if this caller's compute closure wins the
+	// entry's sync.Once, which runs on this goroutine — no race. Waiters
+	// served an in-flight or finished entry count as cache hits.
+	computed := false
 	syn := r.cache.get(ctx, j.synthKey(), func() (set *route.Set, mcl, hops float64, breaker string, cert *certify.Certificate, err error) {
+		computed = true
 		// Convert synthesis panics into errors inside the once, so the
 		// cached entry records the failure instead of a half-built value.
 		defer func() {
@@ -583,6 +636,11 @@ func (r *Runner) exec(ctx context.Context, j Job) (res Result) {
 		}()
 		return r.synthesize(ctx, g, j)
 	})
+	if computed {
+		r.Metrics.Counter("engine_synth_cache_misses_total").Inc()
+	} else {
+		r.Metrics.Counter("engine_synth_cache_hits_total").Inc()
+	}
 	if syn.err != nil {
 		return fail(syn.err)
 	}
@@ -683,7 +741,7 @@ func (r *Runner) ResolveAlgorithm(j Job) (route.Algorithm, error) {
 			return nil, err
 		}
 		return core.BSOR{Label: label, Config: core.Config{
-			VCs: j.VCs, Selector: sel, Breakers: breakers,
+			VCs: j.VCs, Selector: route.InstrumentSelector(sel, r.Metrics), Breakers: breakers,
 			ChannelCapacity: j.Capacity,
 		}}, nil
 	}
@@ -740,6 +798,7 @@ func (r *Runner) simulate(ctx context.Context, g topology.Topology, set *route.S
 		MeasureCycles: j.Measure,
 		Seed:          j.Seed + int64(j.Rate*1000),
 		RateVariation: variation,
+		Metrics:       r.Metrics,
 	})
 	if err != nil {
 		return nil, err

@@ -33,6 +33,10 @@ type MILPOptions struct {
 	// longer matches the problem is ignored and the root solves cold.
 	// Sparse engine only.
 	RootBasis *Basis
+	// Instruments receives pivot/refactorization/node counts from the
+	// solve. The zero value disables all of them. Sparse engine only
+	// (the dense baseline stays unobserved by design).
+	Instruments Instruments
 }
 
 func (o MILPOptions) withDefaults() MILPOptions {
@@ -92,6 +96,7 @@ func SolveMILPContext(ctx context.Context, p *Problem, opts MILPOptions) (*Solut
 	var prop *propagator
 	if opts.Engine != EngineDense {
 		sp = newSparseSolver(p)
+		sp.inst = opts.Instruments
 		prop = newPropagator(p)
 	}
 	solveNode := func(node bbNode) (*Solution, *basisState, error) {
@@ -119,6 +124,9 @@ func SolveMILPContext(ctx context.Context, p *Problem, opts MILPOptions) (*Solut
 		nodes     int
 		truncated bool
 	)
+	// Flush the explored-node count on every exit path, including
+	// cancellation — the nodes were genuinely explored either way.
+	defer func() { opts.Instruments.Nodes.Add(int64(nodes)) }()
 	if opts.WarmStart != nil {
 		if x, obj, ok := p.checkFeasible(opts.WarmStart, opts.IntTol); ok {
 			best = &Solution{Status: Feasible, Objective: obj, X: x}

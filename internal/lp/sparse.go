@@ -103,6 +103,9 @@ type sparseSolver struct {
 	// Scratch.
 	y, w, rwork, mat []float64
 	unbounded        bool
+
+	// inst counts pivots/refactorizations; the zero value is disabled.
+	inst Instruments
 }
 
 func newSparseSolver(p *Problem) *sparseSolver {
@@ -229,6 +232,7 @@ func (s *sparseSolver) valOf(j int) float64 {
 // factorize rebuilds the dense basis inverse from the current basis columns
 // by Gauss-Jordan elimination with partial pivoting.
 func (s *sparseSolver) factorize() error {
+	s.inst.Refactorizations.Inc()
 	m := s.m
 	mat, binv := s.mat, s.binv
 	for i := range mat {
@@ -443,6 +447,9 @@ func (s *sparseSolver) iterate(cost []float64) error {
 	maxIter := 2000 + 40*(s.m+s.n)
 	blandAfter := maxIter / 2
 	pivots := 0
+	// One bulk flush per iterate call keeps the pivot loop itself free of
+	// shared-memory traffic.
+	defer func() { s.inst.Pivots.Add(int64(pivots)) }()
 	for iter := 0; iter <= maxIter; iter++ {
 		bland := iter >= blandAfter
 		s.computeY(cost)
@@ -804,6 +811,7 @@ func (s *sparseSolver) dualIterate() (infeasible bool, err error) {
 	maxIter := 4*m + 100
 	blandAfter := maxIter / 2
 	pivots := 0
+	defer func() { s.inst.Pivots.Add(int64(pivots)) }()
 	initialTot := -1.0
 	for iter := 0; iter < maxIter; iter++ {
 		bland := iter >= blandAfter

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/flowgraph"
+	"repro/internal/metrics"
 )
 
 // HeuristicSlack documents the approximation quality the property tests
@@ -37,6 +38,9 @@ type BSORHeuristic struct {
 	// Workers sizes the candidate-enumeration worker pool; zero means
 	// GOMAXPROCS. Results are deterministic for any value.
 	Workers int
+	// Metrics, when non-nil, counts candidate paths kept in the pool
+	// (route_paths_kept_total). Metrics never influence selection.
+	Metrics *metrics.Collector
 }
 
 // Name implements Selector.
@@ -79,6 +83,12 @@ func (h BSORHeuristic) SelectContext(ctx context.Context, g *flowgraph.Graph) (*
 			candidates[i] = []flowgraph.Path{p}
 		}
 	}
+
+	var kept int64
+	for i := range candidates {
+		kept += int64(len(candidates[i]))
+	}
+	h.Metrics.Counter("route_paths_kept_total").Add(kept)
 
 	// Route heavy flows first: they are the hardest to place, and placing
 	// them on an empty network gives them the widest choice.

@@ -1,0 +1,59 @@
+package route
+
+import "repro/internal/metrics"
+
+// InstrumentSelector returns a copy of sel with the collector wired into
+// its Metrics field, recursing through RetrySelector wrappers so nested
+// Primary/Fallback selectors report too. Selector types without
+// instruments (DijkstraSelector, the grid baselines) pass through
+// unchanged. Selectors are values in this package, so the caller's
+// original is never mutated — the instrumented copy selects identically
+// (metrics are strictly observational).
+func InstrumentSelector(sel Selector, m *metrics.Collector) Selector {
+	if m == nil || sel == nil {
+		return sel
+	}
+	switch s := sel.(type) {
+	case MILPSelector:
+		s.Metrics = m
+		return s
+	case *MILPSelector:
+		c := *s
+		c.Metrics = m
+		return &c
+	case BSORHeuristic:
+		s.Metrics = m
+		return s
+	case *BSORHeuristic:
+		c := *s
+		c.Metrics = m
+		return &c
+	case RetrySelector:
+		s.Metrics = m
+		s.Primary = InstrumentContextSelector(s.Primary, m)
+		s.Fallback = InstrumentContextSelector(s.Fallback, m)
+		return s
+	case *RetrySelector:
+		c := *s
+		c.Metrics = m
+		c.Primary = InstrumentContextSelector(c.Primary, m)
+		c.Fallback = InstrumentContextSelector(c.Fallback, m)
+		return &c
+	}
+	return sel
+}
+
+// InstrumentContextSelector is InstrumentSelector for the cancellable
+// interface (RetrySelector holds its Primary/Fallback as
+// ContextSelector). Every instrumentable selector implements both
+// interfaces, so the dispatch is shared.
+func InstrumentContextSelector(sel ContextSelector, m *metrics.Collector) ContextSelector {
+	if sel == nil {
+		return nil
+	}
+	out, ok := InstrumentSelector(sel, m).(ContextSelector)
+	if !ok {
+		return sel
+	}
+	return out
+}

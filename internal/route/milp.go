@@ -9,6 +9,7 @@ import (
 	"repro/internal/cdg"
 	"repro/internal/flowgraph"
 	"repro/internal/lp"
+	"repro/internal/metrics"
 	"repro/internal/topology"
 )
 
@@ -69,6 +70,12 @@ type MILPSelector struct {
 	// surviving optimization work — so a stale context degrades
 	// gracefully toward a cold solve.
 	Warm *WarmStart
+	// Metrics, when non-nil, receives route-layer instruments: candidate
+	// paths kept in the pool (route_paths_kept_total), injected paths
+	// skipped as channel-sequence duplicates (route_paths_deduped_total),
+	// and the LP core's pivot/refactorization/node counters. Metrics never
+	// influence selection; a nil collector disables everything.
+	Metrics *metrics.Collector
 }
 
 // WarmStart carries resumable state across incremental re-syntheses of
@@ -198,6 +205,8 @@ func (ms MILPSelector) SelectContext(ctx context.Context, g *flowgraph.Graph) (*
 				if k := chanKey(g, p); !seen[i][k] {
 					seen[i][k] = true
 					candidates[i] = append(candidates[i], p)
+				} else {
+					ms.Metrics.Counter("route_paths_deduped_total").Inc()
 				}
 			}
 		}
@@ -225,6 +234,8 @@ func (ms MILPSelector) SelectContext(ctx context.Context, g *flowgraph.Graph) (*
 			if k := chanKey(g, p); !seen[i][k] {
 				seen[i][k] = true
 				candidates[i] = append(candidates[i], p)
+			} else {
+				ms.Metrics.Counter("route_paths_deduped_total").Inc()
 			}
 		}
 		// The unperturbed Dijkstra solution doubles as the initial
@@ -293,6 +304,11 @@ func (ms MILPSelector) SelectContext(ctx context.Context, g *flowgraph.Graph) (*
 		ms.Warm.Incumbent = bestSet
 		ms.Warm.Basis = lastBasis
 	}
+	var kept int64
+	for i := range candidates {
+		kept += int64(len(candidates[i]))
+	}
+	ms.Metrics.Counter("route_paths_kept_total").Add(kept)
 	return bestSet, nil
 }
 
@@ -430,6 +446,13 @@ func (ms MILPSelector) solveRestricted(ctx context.Context, g *flowgraph.Graph,
 	}
 
 	opts := lp.MILPOptions{MaxNodes: ms.MaxNodes, Gap: ms.Gap, RootBasis: rootBasis}
+	if ms.Metrics != nil {
+		opts.Instruments = lp.Instruments{
+			Pivots:           ms.Metrics.Counter("lp_simplex_pivots_total"),
+			Refactorizations: ms.Metrics.Counter("lp_refactorizations_total"),
+			Nodes:            ms.Metrics.Counter("lp_bb_nodes_total"),
+		}
+	}
 	if ms.DenseLP {
 		opts.Engine = lp.EngineDense
 	}
@@ -532,6 +555,8 @@ func (ms MILPSelector) refine(g *flowgraph.Graph, candidates [][]flowgraph.Path,
 				seen[i][k] = true
 				candidates[i] = append(candidates[i], p)
 				added = true
+			} else {
+				ms.Metrics.Counter("route_paths_deduped_total").Inc()
 			}
 		}
 	}

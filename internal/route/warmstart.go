@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/flowgraph"
+	"repro/internal/metrics"
 )
 
 // RetrySelector wraps a primary selector with the failure-handling budget
@@ -35,6 +36,11 @@ type RetrySelector struct {
 	// OnAttempt, when non-nil, observes every failed primary attempt
 	// (1-based) with its error, before any backoff.
 	OnAttempt func(attempt int, err error)
+	// Metrics, when non-nil, counts primary attempts
+	// (route_retry_attempts_total), backoff waits entered
+	// (route_retry_backoffs_total), and fallback consultations
+	// (route_retry_fallbacks_total). Metrics never influence retry policy.
+	Metrics *metrics.Collector
 }
 
 // Name implements Selector.
@@ -71,11 +77,13 @@ func (rs RetrySelector) SelectContext(ctx context.Context, g *flowgraph.Graph) (
 			return nil, err
 		}
 		if attempt > 1 {
+			rs.Metrics.Counter("route_retry_backoffs_total").Inc()
 			if err := sleep(ctx, backoff); err != nil {
 				return nil, err
 			}
 			backoff *= 2
 		}
+		rs.Metrics.Counter("route_retry_attempts_total").Inc()
 		set, err := rs.attempt(ctx, g)
 		if err == nil {
 			return set, nil
@@ -93,6 +101,7 @@ func (rs RetrySelector) SelectContext(ctx context.Context, g *flowgraph.Graph) (
 	if rs.Fallback == nil {
 		return nil, fmt.Errorf("route: %d attempts exhausted: %w", attempts, lastErr)
 	}
+	rs.Metrics.Counter("route_retry_fallbacks_total").Inc()
 	set, err := rs.Fallback.SelectContext(ctx, g)
 	if err != nil {
 		return nil, fmt.Errorf("route: fallback after %d attempts (%v): %w", attempts, lastErr, err)

@@ -9,6 +9,7 @@ import (
 	"repro/internal/cdg"
 	"repro/internal/certify"
 	"repro/internal/flowgraph"
+	"repro/internal/metrics"
 	"repro/internal/route"
 	"repro/internal/topology"
 )
@@ -171,6 +172,69 @@ func TestRetrySelectorOuterCancellation(t *testing.T) {
 	}
 	if fallbackCalls != 0 {
 		t.Fatalf("fallback consulted %d times after cancellation, want 0", fallbackCalls)
+	}
+}
+
+// TestRetrySelectorRealSleepCancellation exercises the default
+// (non-hooked) backoff sleep: with a backoff far longer than the test,
+// cancelling mid-backoff must return promptly with context.Canceled —
+// the timer select, not the timer expiry, must win.
+func TestRetrySelectorRealSleepCancellation(t *testing.T) {
+	g, _ := retryGraph(t)
+	calls := 0
+	fallbackCalls := 0
+	ctx, cancel := context.WithCancel(context.Background())
+	rs := route.RetrySelector{
+		Primary:     fakeSelector{failures: 1 << 30, calls: &calls},
+		Fallback:    fakeSelector{calls: &fallbackCalls},
+		MaxAttempts: 10,
+		Backoff:     time.Hour, // Sleep nil: the real timer path
+		OnAttempt: func(int, error) {
+			go cancel() // cancellation lands while the backoff timer runs
+		},
+	}
+	start := time.Now()
+	_, err := rs.SelectContext(ctx, g)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v; backoff sleep did not honor ctx", elapsed)
+	}
+	if calls != 1 {
+		t.Fatalf("primary called %d times after cancellation, want 1", calls)
+	}
+	if fallbackCalls != 0 {
+		t.Fatalf("fallback consulted %d times after cancellation, want 0", fallbackCalls)
+	}
+}
+
+// TestRetrySelectorMetrics checks the retry counters: attempts, backoff
+// waits, and the fallback consultation — and that policy is unchanged by
+// observation (same call counts as the uninstrumented tests).
+func TestRetrySelectorMetrics(t *testing.T) {
+	g, _ := retryGraph(t)
+	calls := 0
+	m := metrics.New()
+	rs := route.RetrySelector{
+		Primary:     fakeSelector{failures: 1 << 30, calls: &calls},
+		Fallback:    route.BSORHeuristic{},
+		MaxAttempts: 3,
+		Sleep:       func(context.Context, time.Duration) error { return nil },
+		Metrics:     m,
+	}
+	if _, err := rs.SelectContext(context.Background(), g); err != nil {
+		t.Fatalf("SelectContext: %v", err)
+	}
+	want := map[string]int64{
+		"route_retry_attempts_total":  3,
+		"route_retry_backoffs_total":  2,
+		"route_retry_fallbacks_total": 1,
+	}
+	for name, n := range want {
+		if got := m.Counter(name).Value(); got != n {
+			t.Errorf("%s = %d, want %d", name, got, n)
+		}
 	}
 }
 

@@ -156,11 +156,18 @@ func (s *Simulator) DisableChannels(requeue bool, chs ...topology.ChannelID) Pur
 			}
 		}
 	}
-	return PurgeStats{
+	ps := PurgeStats{
 		Flits:    s.droppedFlits - before.Flits,
 		Packets:  s.droppedPackets - before.Packets,
 		Requeued: s.requeuedPkts - before.Requeued,
 	}
+	// Fault events are rare next to cycles, so the by-name lookups (and
+	// the nil-collector no-op) are noise here.
+	m := s.cfg.Metrics
+	m.Counter("sim_purged_flits_total").Add(ps.Flits)
+	m.Counter("sim_purged_packets_total").Add(ps.Packets)
+	m.Counter("sim_requeued_packets_total").Add(ps.Requeued)
+	return ps
 }
 
 // PurgeStats is the in-flight state one DisableChannels call removed.

@@ -38,6 +38,7 @@ package sim
 import (
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/route"
 	"repro/internal/topology"
 )
@@ -94,6 +95,14 @@ type Config struct {
 	// consecutive cycles while packets are in flight, the run aborts and
 	// Result.Deadlocked is set. Default 10000.
 	DeadlockCycles int64
+	// Metrics, when non-nil, receives out-of-band instruments: simulated
+	// cycles (sim_cycles_total, flushed at the 1024-cycle poll point so
+	// the hot loop stays untouched), the live active-set size
+	// (sim_active_set_size), and churn purge counters
+	// (sim_purged_flits_total, sim_purged_packets_total,
+	// sim_requeued_packets_total). Metrics never influence simulation
+	// and never appear in Result.
+	Metrics *metrics.Collector
 }
 
 func (c Config) withDefaults() (Config, error) {

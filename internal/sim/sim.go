@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/metrics"
 	"repro/internal/stats"
 	"repro/internal/topology"
 )
@@ -117,6 +118,12 @@ type Simulator struct {
 	perFlow      []int64
 	perFlowLat   []stats.Summary
 	latencyHist  *stats.Histogram
+
+	// Out-of-band instruments (nil when Config.Metrics is nil); flushed
+	// at the 1024-cycle poll point, never inside the per-cycle path.
+	mCycles      *metrics.Counter
+	mActiveSet   *metrics.Gauge
+	mFlushedCycl int64
 }
 
 type injTransfer struct {
@@ -208,6 +215,10 @@ func New(cfg Config) (*Simulator, error) {
 	s.rrInj = make([]int, nn)
 	s.perFlowLat = make([]stats.Summary, len(flows))
 	s.latencyHist = stats.NewHistogram(0, 4096, 256)
+	if cfg.Metrics != nil {
+		s.mCycles = cfg.Metrics.Counter("sim_cycles_total")
+		s.mActiveSet = cfg.Metrics.Gauge("sim_active_set_size")
+	}
 	if cfg.RateVariation == nil {
 		s.initArrivals()
 	}
@@ -267,6 +278,7 @@ func (s *Simulator) advance(ctx context.Context, target int64) (deadlocked bool,
 			if err := ctx.Err(); err != nil {
 				return false, err
 			}
+			s.flushMetrics()
 		}
 		s.generate()
 		s.inject()
@@ -285,7 +297,21 @@ func (s *Simulator) advance(ctx context.Context, target int64) (deadlocked bool,
 	return false, nil
 }
 
+// flushMetrics pushes the cycle delta since the last flush and the
+// current active-set size to the collector. Called at the 1024-cycle
+// poll point and once at result build, so instrumentation overhead is
+// amortized to nothing against the per-cycle work.
+func (s *Simulator) flushMetrics() {
+	if s.mCycles == nil {
+		return
+	}
+	s.mCycles.Add(s.cycle - s.mFlushedCycl)
+	s.mFlushedCycl = s.cycle
+	s.mActiveSet.Set(int64(len(s.routePending) + len(s.activeChans) + len(s.activeEject) + len(s.activeInj)))
+}
+
 func (s *Simulator) buildResult(deadlocked bool) *Result {
+	s.flushMetrics()
 	res := &Result{
 		Cycles:           s.cycle,
 		PacketsInjected:  s.mInjected,

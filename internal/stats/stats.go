@@ -39,9 +39,12 @@ func (s *Summary) Add(x float64) {
 // Merge folds the observations of o into s using Chan et al.'s parallel
 // Welford combination, as if every observation of o had been Added to s.
 // It is the aggregation primitive for statistics collected concurrently
-// (per flow, per worker, per replica); o is left unchanged.
+// (per flow, per worker, per replica); o is left unchanged. A nil o is a
+// no-op. s.Merge(s) is well defined and doubles the stream: n and m2
+// double while mean and extremes are unchanged — exactly the result of
+// re-Adding every observation.
 func (s *Summary) Merge(o *Summary) {
-	if o.n == 0 {
+	if o == nil || o.n == 0 {
 		return
 	}
 	if s.n == 0 {
@@ -107,8 +110,13 @@ func NewHistogram(lo, hi float64, n int) *Histogram {
 	return &Histogram{lo: lo, hi: hi, buckets: make([]int64, n)}
 }
 
-// Add records one observation.
+// Add records one observation. It panics on a zero-value Histogram
+// (construct with NewHistogram) — without the explicit check the failure
+// would surface as an inscrutable index-out-of-range on bucket -1.
 func (h *Histogram) Add(x float64) {
+	if len(h.buckets) == 0 {
+		panic("stats: Add on zero-value Histogram (use NewHistogram)")
+	}
 	i := int(float64(len(h.buckets)) * (x - h.lo) / (h.hi - h.lo))
 	if i < 0 {
 		i = 0
@@ -122,9 +130,15 @@ func (h *Histogram) Add(x float64) {
 
 // Merge adds the counts of o into h. Both histograms must have identical
 // bucket layouts (same range and bucket count); Merge returns an error
-// otherwise. It is the aggregation primitive for histograms collected by
-// concurrent simulation runs.
+// otherwise — before mutating anything, so a failed Merge leaves h
+// exactly as it was. A nil o is rejected the same way. It is the
+// aggregation primitive for histograms collected by concurrent
+// simulation runs. h.Merge(h) is well defined and doubles every count.
 func (h *Histogram) Merge(o *Histogram) error {
+	if o == nil {
+		return fmt.Errorf("stats: cannot merge nil histogram into [%g,%g)/%d",
+			h.lo, h.hi, len(h.buckets))
+	}
 	if h.lo != o.lo || h.hi != o.hi || len(h.buckets) != len(o.buckets) {
 		return fmt.Errorf("stats: cannot merge histogram [%g,%g)/%d into [%g,%g)/%d",
 			o.lo, o.hi, len(o.buckets), h.lo, h.hi, len(h.buckets))

@@ -244,7 +244,12 @@ func TestHistogramMerge(t *testing.T) {
 
 func TestHistogramMergeLayoutMismatch(t *testing.T) {
 	a := NewHistogram(0, 100, 10)
+	a.Add(5)
+	a.Add(42)
+	before := *a
+	beforeBuckets := append([]int64(nil), a.buckets...)
 	for _, bad := range []*Histogram{
+		nil,
 		NewHistogram(0, 100, 20),
 		NewHistogram(0, 50, 10),
 		NewHistogram(1, 100, 10),
@@ -253,4 +258,62 @@ func TestHistogramMergeLayoutMismatch(t *testing.T) {
 			t.Error("layout mismatch accepted")
 		}
 	}
+	// A failed Merge must leave the target untouched.
+	if a.Total() != before.total || a.lo != before.lo || a.hi != before.hi {
+		t.Errorf("failed merge mutated target: %+v", a)
+	}
+	for i, c := range beforeBuckets {
+		if a.Bucket(i) != c {
+			t.Errorf("failed merge mutated bucket %d: %d vs %d", i, a.Bucket(i), c)
+		}
+	}
+}
+
+func TestSummaryMergeNilAndSelf(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{1, 3, 5, 7} {
+		s.Add(x)
+	}
+	before := s
+	s.Merge(nil)
+	if s != before {
+		t.Error("merging nil changed the target")
+	}
+	// Self-merge doubles the stream: n and m2 double, mean/extremes hold.
+	s.Merge(&s)
+	if s.N() != 2*before.N() {
+		t.Errorf("self-merge n = %d, want %d", s.N(), 2*before.N())
+	}
+	if s.Mean() != before.Mean() || s.Min() != before.Min() || s.Max() != before.Max() {
+		t.Errorf("self-merge moved mean/extremes: %v", s.String())
+	}
+	if math.Abs(s.m2-2*before.m2) > 1e-12 {
+		t.Errorf("self-merge m2 = %g, want %g", s.m2, 2*before.m2)
+	}
+}
+
+func TestHistogramSelfMerge(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{1, 3, 3, 9} {
+		h.Add(x)
+	}
+	if err := h.Merge(h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Total() != 8 {
+		t.Errorf("self-merge total = %d, want 8", h.Total())
+	}
+	if h.Bucket(1) != 4 { // the two 3s, doubled
+		t.Errorf("self-merge bucket 1 = %d, want 4", h.Bucket(1))
+	}
+}
+
+func TestHistogramZeroValueAddPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add on zero-value Histogram did not panic")
+		}
+	}()
+	var h Histogram
+	h.Add(1)
 }
