@@ -74,6 +74,10 @@ func TestSpecValidation(t *testing.T) {
 		{"negative rate", Spec{Workload: "transpose", Sim: &SimSpec{Rates: []float64{-1}}}, "sim"},
 		{"negative demand", Spec{Workload: "transpose", Demand: -1}, "demand"},
 		{"absurd vcs", Spec{Workload: "transpose", VCs: 64}, "vcs"},
+		{"negative sim workers", Spec{Workload: "transpose",
+			Sim: &SimSpec{Rates: []float64{1}, Workers: -1}}, "sim"},
+		{"absurd sim workers", Spec{Workload: "transpose",
+			Sim: &SimSpec{Rates: []float64{1}, Workers: 4096}}, "sim"},
 	}
 	for _, tc := range cases {
 		err := tc.spec.Validate()

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// Engine-level pins of the parallel-simulation contract (DESIGN.md §15):
+// Job.SimWorkers and ChurnSpec.SimWorkers thread the cycle loop of each
+// individual simulation, and the emitted JSON must stay byte-identical
+// for any value — both because the simulator itself is byte-identical
+// across worker counts and because the knob is scrubbed from the echoed
+// Job/Spec.
+
+var simWorkerCounts = []int{1, 2, 4, 8}
+
+// simWorkersJobs sweeps a 16x16 mesh (16 shards, so 4 and 8 workers
+// genuinely parallelize) plus a faulted mesh, with cycle counts small
+// enough for a unit test but large enough to keep traffic in flight.
+func simWorkersJobs(workers int) []Job {
+	p := SimParams{VCs: 2, WarmupCycles: 500, MeasureCycles: 3000, Seed: 1,
+		SimWorkers: workers}
+	jobs := SweepJobs("simw-sweep", MeshSpec(16, 16), "transpose",
+		[]string{"XY"}, nil, []float64{4, 12}, 0, p)
+	jobs = append(jobs, FaultSweepJobs("simw-fault", MeshSpec(8, 8), 1,
+		[]int{2}, []string{"SP"}, "transpose", []float64{4}, p)...)
+	return jobs
+}
+
+// TestRunByteIdenticalAcrossSimWorkers runs the same sweep with each
+// simulation threaded 1/2/4/8 ways and requires byte-identical JSON.
+func TestRunByteIdenticalAcrossSimWorkers(t *testing.T) {
+	var base []byte
+	for _, w := range simWorkerCounts {
+		r := &Runner{Workers: 2}
+		results := r.Run(simWorkersJobs(w))
+		if err := FirstError(results); err != nil {
+			t.Fatalf("sim workers %d: %v", w, err)
+		}
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, results); err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base = buf.Bytes()
+			continue
+		}
+		if !bytes.Equal(base, buf.Bytes()) {
+			t.Errorf("sim workers %d diverged from %d:\n--- base ---\n%s\n--- got ---\n%s",
+				w, simWorkerCounts[0], base, buf.Bytes())
+		}
+	}
+}
+
+// TestRunChurnByteIdenticalAcrossSimWorkers does the same for the churn
+// path: live fault purges, escape swaps, and re-synthesis commits all
+// interleave with the (now possibly parallel) cycle loop at epoch
+// barriers, and none of it may depend on how that loop is threaded.
+func TestRunChurnByteIdenticalAcrossSimWorkers(t *testing.T) {
+	var base []byte
+	for _, w := range simWorkerCounts {
+		specs := churnTestSpecs()
+		for i := range specs {
+			specs[i].SimWorkers = w
+		}
+		r := &Runner{Workers: 2}
+		results, err := r.RunChurn(context.Background(), specs)
+		if err != nil {
+			t.Fatalf("RunChurn(sim workers %d): %v", w, err)
+		}
+		if err := FirstChurnError(results); err != nil {
+			t.Fatalf("sim workers %d: %v", w, err)
+		}
+		var buf bytes.Buffer
+		if err := WriteChurnJSON(&buf, results); err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base = buf.Bytes()
+			continue
+		}
+		if !bytes.Equal(base, buf.Bytes()) {
+			t.Errorf("sim workers %d diverged from %d:\n--- base ---\n%s\n--- got ---\n%s",
+				w, simWorkerCounts[0], base, buf.Bytes())
+		}
+	}
+}

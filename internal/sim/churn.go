@@ -58,18 +58,14 @@ func (s *Simulator) DisableChannels(requeue bool, chs ...topology.ChannelID) Pur
 	}
 
 	// A (epoch, flow) pair is affected when its table row references any
-	// dead channel. Tables are tiny (flows x stride) next to a measured
-	// run, so the rescan per fault event is noise.
+	// dead channel. Rows are sparse (one entry per route hop), so the
+	// rescan per fault event is noise next to a measured run.
 	nf := len(s.cfg.Routes.Routes)
 	affected := make([]bool, len(s.tables)*nf)
 	for e, t := range s.tables {
 		for f := 0; f < nf; f++ {
-			row := t.entries[f*t.stride : (f+1)*t.stride]
-			for _, en := range row {
-				if en.next != topology.InvalidChannel && s.deadChan[en.next] {
-					affected[e*nf+f] = true
-					break
-				}
+			if t.crossesDead(f, s.deadChan) {
+				affected[e*nf+f] = true
 			}
 		}
 	}
@@ -90,17 +86,20 @@ func (s *Simulator) DisableChannels(requeue bool, chs ...topology.ChannelID) Pur
 			purged = append(purged, pkt)
 		}
 	}
-	keep := s.routePending[:0]
-	for _, bi := range s.routePending {
-		b := &s.bufs[bi]
-		if b.owner >= 0 && hit(b.owner) {
-			note(b.owner)
-			s.clearBuf(bi, b)
-			continue
+	for si := range s.shards {
+		sh := &s.shards[si]
+		keep := sh.routePending[:0]
+		for _, bi := range sh.routePending {
+			b := &s.bufs[bi]
+			if b.owner >= 0 && hit(b.owner) {
+				note(b.owner)
+				s.clearBuf(bi, b)
+				continue
+			}
+			keep = append(keep, bi)
 		}
-		keep = append(keep, bi)
+		sh.routePending = keep
 	}
-	s.routePending = keep
 
 	// Full buffer sweep in ascending index order (deterministic): every
 	// buffer owned by an affected packet is emptied and freed. Members of
@@ -152,7 +151,8 @@ func (s *Simulator) DisableChannels(requeue bool, chs ...topology.ChannelID) Pur
 			s.nodeWork[n]++
 			if !s.injQueued[n] {
 				s.injQueued[n] = true
-				s.activeInj = append(s.activeInj, n)
+				sh := &s.shards[s.shardOfNode[n]]
+				sh.activeInj = append(sh.activeInj, n)
 			}
 		}
 	}
@@ -182,7 +182,10 @@ type PurgeStats struct {
 
 // clearBuf discards buffer bi's flits (counting them dropped), frees its
 // VC, and — for channel buffers — wakes VA waiters exactly as release
-// would, since the freed VC may unblock a surviving packet.
+// would, since the freed VC may unblock a surviving packet. Runs between
+// cycles (DisableChannels is a barrier operation), so the wake is
+// flagged directly into the channel's owning shard instead of routed
+// through an outbox.
 func (s *Simulator) clearBuf(bi int32, b *vcBuf) {
 	s.droppedFlits += int64(b.count)
 	s.inFlight -= int64(b.count)
@@ -190,7 +193,7 @@ func (s *Simulator) clearBuf(bi int32, b *vcBuf) {
 	b.active, b.eject, b.pending = false, false, false
 	if bi < s.injBase {
 		if ch := bi / s.nVCs; s.vaWait[ch] >= 0 {
-			s.vaFlag(ch)
+			s.vaFlagShard(&s.shards[s.shardOfChan[ch]], ch)
 		}
 	}
 }
@@ -235,7 +238,7 @@ func (s *Simulator) SwapRoutes(set *route.Set) error {
 			}
 		}
 	}
-	tbl, err := buildTable(s.mesh, set)
+	tbl, err := buildTable(set)
 	if err != nil {
 		return fmt.Errorf("sim: SwapRoutes: %w", err)
 	}

@@ -175,7 +175,8 @@ func (s *Simulator) emit(fi int32) {
 		s.nodeWork[n]++
 		if !s.injQueued[n] {
 			s.injQueued[n] = true
-			s.activeInj = append(s.activeInj, n)
+			sh := &s.shards[s.shardOfNode[n]]
+			sh.activeInj = append(sh.activeInj, n)
 		}
 	}
 }

@@ -26,6 +26,10 @@ import (
 //     total buffered flit count.
 //  5. flowWork matches queue/transfer state and nodeWork counts the
 //     flows with work; nodes with work are registered in activeInj.
+//  6. Shard ownership (DESIGN.md §15): every per-shard active-set entry
+//     belongs to the shard holding it, and every deferred-effect buffer
+//     (pops, popCnt, staging outboxes, VA wakes, resumes, statistic
+//     deltas) is fully drained between cycles.
 func (s *Simulator) checkInvariants() error {
 	nc := s.mesh.NumChannels()
 	nn := s.mesh.NumNodes()
@@ -65,14 +69,23 @@ func (s *Simulator) checkInvariants() error {
 			return fmt.Errorf("cycle %d: node %d has eject waiters but is not active", s.cycle, n)
 		}
 	}
-	pending := make(map[int32]bool, len(s.routePending))
-	for _, bi := range s.routePending {
-		b := &s.bufs[bi]
-		if !b.pending || b.active || b.count == 0 {
-			return fmt.Errorf("cycle %d: routePending buf %d in state pending=%v active=%v count=%d",
-				s.cycle, bi, b.pending, b.active, b.count)
+	pending := make(map[int32]bool, 64)
+	for si := range s.shards {
+		for _, bi := range s.shards[si].routePending {
+			b := &s.bufs[bi]
+			if !b.pending || b.active || b.count == 0 {
+				return fmt.Errorf("cycle %d: routePending buf %d in state pending=%v active=%v count=%d",
+					s.cycle, bi, b.pending, b.active, b.count)
+			}
+			if s.shardOfBuf(bi) != int32(si) {
+				return fmt.Errorf("cycle %d: buf %d in shard %d's routePending but owned by shard %d",
+					s.cycle, bi, si, s.shardOfBuf(bi))
+			}
+			if pending[bi] {
+				return fmt.Errorf("cycle %d: buf %d in routePending twice", s.cycle, bi)
+			}
+			pending[bi] = true
 		}
-		pending[bi] = true
 	}
 	for ch := 0; ch < nc; ch++ {
 		prev := int32(-1)
@@ -252,6 +265,79 @@ func (s *Simulator) checkInvariants() error {
 		if s.nodeWork[n] > 0 && !s.injQueued[n] {
 			return fmt.Errorf("cycle %d: node %d has work but is not in activeInj", s.cycle, n)
 		}
+	}
+
+	// Shard decomposition (shard.go): every active-set entry must sit in
+	// the shard that owns it — a cross-shard entry means some phase wrote
+	// another shard's state outside the commit protocol — and all
+	// deferred-effect buffers must drain completely each cycle.
+	flagged := make(map[int32]int32, 16) // channel -> shard holding it in vaRetry
+	for si := range s.shards {
+		sh := &s.shards[si]
+		for _, ch := range sh.activeChans {
+			if s.shardOfChan[ch] != int32(si) {
+				return fmt.Errorf("cycle %d: channel %d in shard %d's activeChans but owned by shard %d",
+					s.cycle, ch, si, s.shardOfChan[ch])
+			}
+		}
+		for _, ch := range sh.vaRetry {
+			if s.shardOfChan[ch] != int32(si) {
+				return fmt.Errorf("cycle %d: channel %d in shard %d's vaRetry but owned by shard %d",
+					s.cycle, ch, si, s.shardOfChan[ch])
+			}
+			if !s.vaFlagged[ch] {
+				return fmt.Errorf("cycle %d: channel %d in vaRetry but not flagged", s.cycle, ch)
+			}
+			if prev, dup := flagged[ch]; dup {
+				return fmt.Errorf("cycle %d: channel %d in vaRetry of shards %d and %d", s.cycle, ch, prev, si)
+			}
+			flagged[ch] = int32(si)
+		}
+		for _, n := range sh.activeEject {
+			if s.shardOfNode[n] != int32(si) {
+				return fmt.Errorf("cycle %d: node %d in shard %d's activeEject but owned by shard %d",
+					s.cycle, n, si, s.shardOfNode[n])
+			}
+		}
+		for _, n := range sh.activeInj {
+			if s.shardOfNode[n] != int32(si) {
+				return fmt.Errorf("cycle %d: node %d in shard %d's activeInj but owned by shard %d",
+					s.cycle, n, si, s.shardOfNode[n])
+			}
+		}
+		if len(sh.pops) != 0 || len(sh.injStaged) != 0 || len(sh.resumed) != 0 || len(sh.freed) != 0 {
+			return fmt.Errorf("cycle %d: shard %d has undrained effects (pops=%d injStaged=%d resumed=%d freed=%d)",
+				s.cycle, si, len(sh.pops), len(sh.injStaged), len(sh.resumed), len(sh.freed))
+		}
+		for dst, out := range sh.stageOut {
+			if len(out) != 0 {
+				return fmt.Errorf("cycle %d: shard %d stageOut[%d] holds %d flits between cycles", s.cycle, si, dst, len(out))
+			}
+		}
+		for dst, out := range sh.wakeOut {
+			if len(out) != 0 {
+				return fmt.Errorf("cycle %d: shard %d wakeOut[%d] holds %d wakes between cycles", s.cycle, si, dst, len(out))
+			}
+		}
+		if sh.moved || sh.flitHops != 0 || sh.inFlightDelta != 0 || sh.delivered != 0 ||
+			sh.mDelivered != 0 || sh.mLatencySum != 0 || sh.mTotalLatSum != 0 {
+			return fmt.Errorf("cycle %d: shard %d has unmerged statistic deltas", s.cycle, si)
+		}
+	}
+	for ch := int32(0); int(ch) < nc; ch++ {
+		if s.vaFlagged[ch] {
+			if _, ok := flagged[ch]; !ok {
+				return fmt.Errorf("cycle %d: channel %d flagged but in no shard's vaRetry", s.cycle, ch)
+			}
+		}
+	}
+	for bi := range s.popCnt {
+		if s.popCnt[bi] != 0 {
+			return fmt.Errorf("cycle %d: buf %d popCnt %d between cycles", s.cycle, bi, s.popCnt[bi])
+		}
+	}
+	if len(s.resumeScratch) != 0 {
+		return fmt.Errorf("cycle %d: resumeScratch holds %d flows between cycles", s.cycle, len(s.resumeScratch))
 	}
 	return nil
 }

@@ -1,0 +1,196 @@
+package sim
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/flowgraph"
+	"repro/internal/route"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// Tests of the sharded parallel cycle loop (shard.go, DESIGN.md §15).
+// The contract under test is strict: Config.Workers must not change a
+// single bit of any Result — every counter, every float, every per-flow
+// slice — because the shard decomposition, arbitration order, and RNG
+// stream depend only on topology, configuration, and seed.
+
+// workerCounts spans the sequential inline path (0 and 1), a partial
+// pool, and an oversubscribed pool that the shard cap truncates.
+var workerCounts = []int{0, 1, 2, 4, 8}
+
+func runWorkers(t *testing.T, cfg Config, workers int) *Result {
+	t.Helper()
+	cfg.Workers = workers
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestWorkerCountByteIdentical runs every golden configuration — plus a
+// 16x16 mesh that decomposes into 16 shards — at workers 0/1/2/4/8 and
+// requires bit-identical Results, floats included. reflect.DeepEqual on
+// the whole struct is deliberate: any new Result field is covered the
+// day it is added.
+func TestWorkerCountByteIdentical(t *testing.T) {
+	cases := goldenCases()
+	cases = append(cases, goldenCase{
+		name: "mesh16x16-transpose-vc2-r12-s5",
+		cfg: func(t *testing.T) Config {
+			t.Helper()
+			g := topology.NewMesh(16, 16)
+			set, err := route.XY{}.Routes(g, goldenFlows(t, g, "transpose"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return Config{Mesh: g, Routes: set, VCs: 2, OfferedRate: 12,
+				WarmupCycles: 1000, MeasureCycles: 8000, Seed: 5}
+		},
+	})
+	for _, gc := range cases {
+		t.Run(gc.name, func(t *testing.T) {
+			cfg := gc.cfg(t)
+			base := runWorkers(t, cfg, workerCounts[0])
+			for _, w := range workerCounts[1:] {
+				res := runWorkers(t, cfg, w)
+				if !reflect.DeepEqual(base, res) {
+					t.Errorf("workers=%d diverged from workers=%d:\n  base: %+v\n  got:  %+v",
+						w, workerCounts[0], base, res)
+				}
+			}
+		})
+	}
+}
+
+// TestWorkerCountByteIdenticalPauseResume drives two cross-network flows
+// far past saturation on an 8x8 mesh (4 shards), so both source queues
+// fill, generation pauses, and the deferred resume draws of postCycle
+// run thousands of times — the one place the parallel core reorders the
+// RNG stream relative to shard execution and must re-serialize it.
+func TestWorkerCountByteIdenticalPauseResume(t *testing.T) {
+	m := topology.NewMesh(8, 8)
+	flows := []flowgraph.Flow{
+		{ID: 0, Name: "a", Src: 0, Dst: 63, Demand: 10},
+		{ID: 1, Name: "b", Src: 63, Dst: 0, Demand: 10},
+	}
+	set, err := route.XY{}.Routes(m, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Mesh: m, Routes: set, VCs: 2, OfferedRate: 4,
+		WarmupCycles: 1000, MeasureCycles: 40000, Seed: 21}
+	base := runWorkers(t, cfg, 1)
+	if base.PacketsDelivered < 4000 {
+		t.Fatalf("run too light to fill source queues: %d delivered", base.PacketsDelivered)
+	}
+	for _, w := range []int{2, 4, 8} {
+		if res := runWorkers(t, cfg, w); !reflect.DeepEqual(base, res) {
+			t.Errorf("workers=%d diverged under pause/resume:\n  base: %+v\n  got:  %+v", w, base, res)
+		}
+	}
+}
+
+// TestParallelActiveSetInvariants reruns the full-scan checker — now
+// including the shard-ownership and outbox-drain invariants — against
+// every golden configuration with a live worker pool. CI runs this under
+// -race: the checker reads the entire network from the coordinating
+// goroutine between cycles, so any phase that wrote state outside its
+// shard without the commit protocol shows up as a data race or an
+// ownership violation.
+func TestParallelActiveSetInvariants(t *testing.T) {
+	for _, gc := range goldenCases() {
+		t.Run(gc.name, func(t *testing.T) {
+			cfg := gc.cfg(t)
+			cfg.WarmupCycles = 500
+			cfg.MeasureCycles = 2500
+			cfg.Workers = 4
+			s, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.checkEvery = 7
+			if _, err := s.Run(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestParallelCancelMidCycle pins two halves of the cancellation
+// contract: a parallel run observes ctx at the per-cycle barrier (not
+// just the 1024-cycle stride), and every exit path joins the worker
+// pool — cancellation mid-run must leave no helper goroutine behind.
+func TestParallelCancelMidCycle(t *testing.T) {
+	g := topology.NewMesh(16, 16)
+	flows, err := traffic.Transpose(g, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := route.XY{}.Routes(g, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		s, err := New(Config{Mesh: g, Routes: set, VCs: 2, OfferedRate: 20,
+			WarmupCycles: 1000, MeasureCycles: 1 << 40, Seed: 7, Workers: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(10 * time.Millisecond) // mid-run, between strides
+			cancel()
+		}()
+		if _, err := s.RunContext(ctx); err != context.Canceled {
+			t.Fatalf("run %d: got %v, want context.Canceled", i, err)
+		}
+		cancel()
+	}
+	// Helpers are joined before advance returns, so the count is back
+	// immediately; the retry loop only absorbs unrelated runtime noise.
+	for deadline := time.Now().Add(2 * time.Second); ; {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after cancelled runs", before, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestWorkersValidation pins the config contract: negative is an error,
+// huge values are capped by the shard count rather than rejected.
+func TestWorkersValidation(t *testing.T) {
+	m := topology.NewMesh(4, 4)
+	flows, err := traffic.Transpose(m, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := route.XY{}.Routes(m, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Mesh: m, Routes: set, Workers: -1}); err == nil {
+		t.Fatal("negative Workers accepted")
+	}
+	s, err := New(Config{Mesh: m, Routes: set, OfferedRate: 0.5, Workers: 1024,
+		WarmupCycles: 100, MeasureCycles: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -17,19 +18,22 @@ import (
 // incrementally maintained active set instead of scanning all buffers:
 //
 //   - generate() drains the arrival heap (generate.go) — O(packets due).
-//   - inject() visits only nodes in activeInj, the nodes whose flows
-//     have queued packets or in-progress transfers.
-//   - routeAndAllocate() visits only routePending, the buffers whose
-//     head flit is an unrouted header (entered when a header lands in an
-//     empty inactive buffer, left on successful VC allocation).
-//   - switchAllocateAndTraverse() visits only activeChans/activeEject,
-//     the channels and nodes with at least one routed VC on their
-//     intrusive wait list (entered at VA, left when the tail departs).
+//   - injectShard visits only nodes in the shard's activeInj, the nodes
+//     whose flows have queued packets or in-progress transfers.
+//   - routeShard visits only routePending, the buffers whose head flit
+//     is an unrouted header (entered when a header lands in an empty
+//     inactive buffer, left on successful VC allocation).
+//   - switchShard/ejectShard visit only activeChans/activeEject, the
+//     channels and nodes with at least one routed VC on their intrusive
+//     wait list (entered at VA, left when the tail departs).
 //
 // An idle 16x16 network therefore simulates a cycle in a handful of
 // branch checks; a loaded one pays per in-flight packet, never per
-// buffer. See buffers.go for the flat buffer layout and DESIGN.md §8 for
-// the invariants (which internal tests cross-check against a full scan).
+// buffer. See buffers.go for the flat buffer layout, shard.go for the
+// spatial decomposition that runs these stages on Config.Workers
+// goroutines with byte-identical results at any worker count, and
+// DESIGN.md §8/§15 for the invariants (which internal tests cross-check
+// against a full scan).
 type Simulator struct {
 	cfg  Config
 	mesh topology.Topology
@@ -52,7 +56,7 @@ type Simulator struct {
 
 	bufs      []vcBuf
 	flits     []flitRef // ring arena: buffer i owns [i*depth, (i+1)*depth)
-	stagedCnt []int32   // per buffer: deliveries staged this cycle (credits)
+	stagedCnt []int32   // per injection buffer: deliveries staged this cycle
 
 	packets  []packet
 	freePkts []int32 // delivered packet records available for reuse
@@ -67,21 +71,27 @@ type Simulator struct {
 	flowNode   []int32 // source node per flow
 	flowPaused []bool  // arrival due but source queue full; resumed on pop
 
-	// Active sets.
-	routePending []int32 // buffers with a header awaiting its first RC
-	vaWait       []int32 // per channel: head of VA-stalled wait list, -1 empty
-	vaFlagged    []bool  // per channel: queued in vaRetry
-	vaRetry      []int32 // channels with new waiters or freed VCs
-	chanWait     []int32 // per channel: head of routed-VC wait list, -1 empty
-	ejectWait    []int32 // per node: head of ejecting-VC wait list, -1 empty
-	activeChans  []int32 // channels with a non-empty wait list (lazily pruned)
-	chanQueued   []bool
-	activeEject  []int32 // nodes with a non-empty ejection wait list
-	ejectQueued  []bool
-	activeInj    []int32 // nodes with injection work (lazily pruned)
-	injQueued    []bool
-	flowWork     []bool  // flow has queued packets or an active transfer
-	nodeWork     []int32 // number of flows with work per node
+	// Spatial decomposition (shard.go). Active sets live per shard; the
+	// membership flags and wait-list heads below are global arrays whose
+	// entries are each touched by exactly one shard.
+	workers       int
+	nShards       int32
+	shardOfNode   []int32
+	shardOfChan   []int32
+	shards        []simShard
+	pool          *simPool
+	popCnt        []int32 // per buffer: dequeues deferred within the cycle
+	resumeScratch []int32
+
+	vaWait      []int32 // per channel: head of VA-stalled wait list, -1 empty
+	vaFlagged   []bool  // per channel: queued in its shard's vaRetry
+	chanWait    []int32 // per channel: head of routed-VC wait list, -1 empty
+	ejectWait   []int32 // per node: head of ejecting-VC wait list, -1 empty
+	chanQueued  []bool
+	ejectQueued []bool
+	injQueued   []bool
+	flowWork    []bool  // flow has queued packets or an active transfer
+	nodeWork    []int32 // number of flows with work per node
 
 	// Round-robin pointers.
 	rrOut  []int // per channel: switch-allocation priority
@@ -90,10 +100,6 @@ type Simulator struct {
 
 	// nodeFlows[node] lists flow indices sourced at node.
 	nodeFlows [][]int32
-
-	// staged deliveries applied at cycle end.
-	staged  []stagedFlit
-	scratch []int32 // reusable candidate list
 
 	cycle     int64
 	lastMove  int64
@@ -123,6 +129,7 @@ type Simulator struct {
 	// at the 1024-cycle poll point, never inside the per-cycle path.
 	mCycles      *metrics.Counter
 	mActiveSet   *metrics.Gauge
+	mShardActive []*metrics.Gauge
 	mFlushedCycl int64
 }
 
@@ -143,15 +150,16 @@ func New(cfg Config) (*Simulator, error) {
 	if err != nil {
 		return nil, err
 	}
-	tbl, err := buildTable(cfg.Mesh, cfg.Routes)
+	tbl, err := buildTable(cfg.Routes)
 	if err != nil {
 		return nil, err
 	}
 	s := &Simulator{
-		cfg:    cfg,
-		mesh:   cfg.Mesh,
-		tables: []*routingTable{tbl},
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		cfg:     cfg,
+		mesh:    cfg.Mesh,
+		tables:  []*routingTable{tbl},
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		workers: cfg.Workers,
 	}
 	nc := s.mesh.NumChannels()
 	nn := s.mesh.NumNodes()
@@ -171,6 +179,7 @@ func New(cfg Config) (*Simulator, error) {
 			b.node = (int32(bi) - s.injBase) / s.nVCs
 		}
 	}
+	s.initShards()
 	flows := cfg.Routes.Routes
 	s.injectProb = make([]float64, len(flows))
 	s.srcQueue = make([]i32ring, len(flows))
@@ -218,6 +227,13 @@ func New(cfg Config) (*Simulator, error) {
 	if cfg.Metrics != nil {
 		s.mCycles = cfg.Metrics.Counter("sim_cycles_total")
 		s.mActiveSet = cfg.Metrics.Gauge("sim_active_set_size")
+		cfg.Metrics.Gauge("sim_shards").Set(int64(s.nShards))
+		if s.nShards > 1 {
+			s.mShardActive = make([]*metrics.Gauge, s.nShards)
+			for i := range s.mShardActive {
+				s.mShardActive[i] = cfg.Metrics.Gauge(fmt.Sprintf("sim_shard_active_set_%02d", i))
+			}
+		}
 	}
 	if cfg.RateVariation == nil {
 		s.initArrivals()
@@ -230,11 +246,12 @@ func (s *Simulator) Run() (*Result, error) {
 	return s.RunContext(context.Background())
 }
 
-// RunContext is Run with cooperative cancellation: the cycle loop polls
-// ctx every 1024 simulated cycles (amortized to a no-op against the
-// per-cycle work) and returns ctx.Err() when it fires. A cancelled run
-// yields no Result — partial statistics from a truncated measurement
-// window would be silently biased toward warm-up behavior.
+// RunContext is Run with cooperative cancellation: a sequential run
+// polls ctx every 1024 simulated cycles (amortized to a no-op against
+// the per-cycle work); a parallel run (Workers > 1) polls every cycle at
+// the barrier, so cancellation is never delayed behind a long stride. A
+// cancelled run yields no Result — partial statistics from a truncated
+// measurement window would be silently biased toward warm-up behavior.
 func (s *Simulator) RunContext(ctx context.Context) (*Result, error) {
 	total := s.cfg.WarmupCycles + s.cfg.MeasureCycles
 	deadlocked, err := s.advance(ctx, total)
@@ -268,23 +285,34 @@ func (s *Simulator) Epoch() int32 { return s.curEpoch }
 // Finish assembles the Result after stepping with Advance.
 func (s *Simulator) Finish(deadlocked bool) *Result { return s.buildResult(deadlocked) }
 
-// advance runs the cycle loop up to (not past) absolute cycle target,
-// polling ctx every 1024 cycles. On deadlock it returns with s.cycle
-// frozen at the detecting cycle, matching the pre-stepping-API behavior
-// of Run (Result.Cycles reports the cycle the watchdog fired on).
+// advance runs the cycle loop up to (not past) absolute cycle target.
+// On deadlock it returns with s.cycle frozen at the detecting cycle,
+// matching the pre-stepping-API behavior of Run (Result.Cycles reports
+// the cycle the watchdog fired on). Worker goroutines live exactly as
+// long as this call: every return path joins them.
 func (s *Simulator) advance(ctx context.Context, target int64) (deadlocked bool, err error) {
+	stop := s.startPool()
+	defer stop()
+	parallel := s.pool != nil
 	for ; s.cycle < target; s.cycle++ {
 		if s.cycle&1023 == 0 {
 			if err := ctx.Err(); err != nil {
 				return false, err
 			}
 			s.flushMetrics()
+		} else if parallel {
+			// Per-cycle poll at the barrier: a parallel run must not sit
+			// on a cancelled context for up to 1024 cycles' worth of
+			// multi-goroutine work.
+			if err := ctx.Err(); err != nil {
+				return false, err
+			}
 		}
 		s.generate()
-		s.inject()
-		s.routeAndAllocate()
-		s.switchAllocateAndTraverse()
-		s.applyStaged()
+		s.runPhase(phaseRoute)
+		s.runPhase(phaseSwitch)
+		s.runPhase(phaseCommit)
+		s.postCycle()
 		if s.checkEvery > 0 && s.cycle%s.checkEvery == 0 {
 			if err := s.checkInvariants(); err != nil {
 				return false, err
@@ -298,20 +326,38 @@ func (s *Simulator) advance(ctx context.Context, target int64) (deadlocked bool,
 }
 
 // flushMetrics pushes the cycle delta since the last flush and the
-// current active-set size to the collector. Called at the 1024-cycle
-// poll point and once at result build, so instrumentation overhead is
-// amortized to nothing against the per-cycle work.
+// current active-set sizes (aggregate, and per shard when the topology
+// shards at all) to the collector. Called at the 1024-cycle poll point
+// and once at result build, so instrumentation overhead is amortized to
+// nothing against the per-cycle work.
 func (s *Simulator) flushMetrics() {
 	if s.mCycles == nil {
 		return
 	}
 	s.mCycles.Add(s.cycle - s.mFlushedCycl)
 	s.mFlushedCycl = s.cycle
-	s.mActiveSet.Set(int64(len(s.routePending) + len(s.activeChans) + len(s.activeEject) + len(s.activeInj)))
+	total := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		n := len(sh.routePending) + len(sh.activeChans) + len(sh.activeEject) + len(sh.activeInj)
+		total += n
+		if s.mShardActive != nil {
+			s.mShardActive[i].Set(int64(n))
+		}
+	}
+	s.mActiveSet.Set(int64(total))
 }
 
 func (s *Simulator) buildResult(deadlocked bool) *Result {
 	s.flushMetrics()
+	for i := range s.shards {
+		// Shard histograms share lo/hi/buckets with latencyHist, so the
+		// merge cannot fail; a mismatch would be a construction bug.
+		if err := s.latencyHist.Merge(s.shards[i].hist); err != nil {
+			panic(err)
+		}
+		s.shards[i].hist = stats.NewHistogram(0, 4096, 256)
+	}
 	res := &Result{
 		Cycles:           s.cycle,
 		PacketsInjected:  s.mInjected,
@@ -349,25 +395,25 @@ func (s *Simulator) buildResult(deadlocked bool) *Result {
 // in-flight), independent of how many packets a long run delivers.
 const maxSourceQueue = 1 << 13
 
-// inject moves flits from source queues into injection-port VC buffers,
-// up to LocalBandwidth flits per node per cycle, visiting only nodes
-// with pending injection work.
-func (s *Simulator) inject() {
-	for i := 0; i < len(s.activeInj); {
-		n := s.activeInj[i]
+// injectShard moves flits from source queues into injection-port VC
+// buffers, up to LocalBandwidth flits per node per cycle, visiting only
+// the shard's nodes with pending injection work.
+func (s *Simulator) injectShard(sh *simShard) {
+	for i := 0; i < len(sh.activeInj); {
+		n := sh.activeInj[i]
 		if s.nodeWork[n] == 0 {
-			last := len(s.activeInj) - 1
-			s.activeInj[i] = s.activeInj[last]
-			s.activeInj = s.activeInj[:last]
+			last := len(sh.activeInj) - 1
+			sh.activeInj[i] = sh.activeInj[last]
+			sh.activeInj = sh.activeInj[:last]
 			s.injQueued[n] = false
 			continue
 		}
-		s.injectNode(n)
+		s.injectNode(sh, n)
 		i++
 	}
 }
 
-func (s *Simulator) injectNode(n int32) {
+func (s *Simulator) injectNode(sh *simShard, n int32) {
 	flowsHere := s.nodeFlows[n]
 	nf := len(flowsHere)
 	budget := s.cfg.LocalBandwidth
@@ -389,12 +435,12 @@ func (s *Simulator) injectNode(n int32) {
 		}
 		pkt := s.srcQueue[fi].pop()
 		if s.flowPaused[fi] {
-			// A slot freed for a generation-paused flow: resume the
-			// arrival process memorylessly, exactly as the seed core's
-			// suppressed Bernoulli trials would — next success Geom(p)
-			// cycles out, not a deterministic replay of the paused one.
+			// A slot freed for a generation-paused flow: the arrival
+			// process restarts memorylessly. The geometric gap is drawn
+			// in postCycle (ascending flow order) so the RNG stream does
+			// not depend on shard execution order.
 			s.flowPaused[fi] = false
-			s.arrivals.push(arrival{at: s.cycle + s.geomGap(fi), flow: fi})
+			sh.resumed = append(sh.resumed, fi)
 		}
 		bi := s.injBase + n*s.nVCs + vc
 		s.bufs[bi].owner = pkt
@@ -414,8 +460,9 @@ func (s *Simulator) injectNode(n int32) {
 			if tr.nextIdx == 0 {
 				s.packets[tr.pkt].enterT = s.cycle
 			}
-			s.lastMove = s.cycle
-			s.stage(flitRef{pkt: tr.pkt, idx: tr.nextIdx}, tr.buf)
+			sh.moved = true
+			sh.injStaged = append(sh.injStaged, stagedFlit{f: flitRef{pkt: tr.pkt, idx: tr.nextIdx}, buf: tr.buf})
+			s.stagedCnt[tr.buf]++
 			tr.nextIdx++
 			budget--
 			if int(tr.nextIdx) == s.cfg.PacketLen {
@@ -440,26 +487,14 @@ func (s *Simulator) freeInjVC(n int32) int32 {
 	return -1
 }
 
-// routeAndAllocate performs the RC and VA stages event-driven. Route
-// computation runs once per packet per hop: headers that arrived last
-// cycle (routePending) look up their next hop, ejecting buffers activate
-// immediately, and the rest join their target channel's VA wait list.
-// Virtual-channel allocation then runs only for flagged channels — those
-// with new waiters or with a VC freed since the last attempt (release
-// flags them) — because an unflagged channel's waiters would just fail
-// the same owner checks again.
-//
-// Waiters are kept and served in ascending buffer-index order,
-// reproducing the pre-refactor full scan's priority: channel buffers (in
-// channel id order) claim a contested downstream VC before any injection
-// buffer. At saturation this ordering is load-bearing — it gives traffic
-// already in the network priority over new injections, keeping
-// in-network queueing (and thus the reported network latency) low while
-// the excess waits in the source queues. Buffers contending for
-// different channels never interact, so per-channel ordering is the only
-// ordering that matters.
-func (s *Simulator) routeAndAllocate() {
-	for _, bi := range s.routePending {
+// routeShard performs the RC stage event-driven: headers that arrived
+// last cycle (the shard's routePending) look up their next hop, ejecting
+// buffers activate immediately, and the rest join their target channel's
+// VA wait list. Every buffer here sits at an owned node, and its output
+// channel is sourced at that same node, so all list operations are
+// shard-local.
+func (s *Simulator) routeShard(sh *simShard) {
+	for _, bi := range sh.routePending {
 		b := &s.bufs[bi]
 		head := s.headFlit(bi, b)
 		if head.idx != 0 {
@@ -477,31 +512,49 @@ func (s *Simulator) routeAndAllocate() {
 			b.pending = false
 			b.active, b.eject = true, true
 			b.readyAt = s.cycle + int64(s.cfg.PipelineStages) - 1
-			s.ejectPush(bi)
+			s.ejectPush(sh, bi)
 			continue
 		}
 		// outVC holds the statically requested VC until VA grants one.
 		b.outCh, b.outVC = int32(entry.next), entry.vc
 		s.sortedInsert(&s.vaWait[entry.next], bi)
-		s.vaFlag(int32(entry.next))
+		s.vaFlagShard(sh, int32(entry.next))
 	}
-	s.routePending = s.routePending[:0]
-	for _, ch := range s.vaRetry {
+	sh.routePending = sh.routePending[:0]
+}
+
+// allocShard performs the VA stage for the shard's flagged channels —
+// those with new waiters or with a VC freed since the last attempt —
+// because an unflagged channel's waiters would just fail the same owner
+// checks again.
+//
+// Waiters are kept and served in ascending buffer-index order,
+// reproducing the pre-refactor full scan's priority: channel buffers (in
+// channel id order) claim a contested downstream VC before any injection
+// buffer. At saturation this ordering is load-bearing — it gives traffic
+// already in the network priority over new injections, keeping
+// in-network queueing (and thus the reported network latency) low while
+// the excess waits in the source queues. Buffers contending for
+// different channels never interact, so per-channel ordering is the only
+// ordering that matters (and VA order across channels is inert).
+func (s *Simulator) allocShard(sh *simShard) {
+	for _, ch := range sh.vaRetry {
 		s.vaFlagged[ch] = false
 		for bi := s.vaWait[ch]; bi >= 0; {
 			next := s.bufs[bi].next
-			s.tryClaim(ch, bi)
+			s.tryClaim(sh, ch, bi)
 			bi = next
 		}
 	}
-	s.vaRetry = s.vaRetry[:0]
+	sh.vaRetry = sh.vaRetry[:0]
 }
 
-// vaFlag queues channel ch for a VA pass in the next routeAndAllocate.
-func (s *Simulator) vaFlag(ch int32) {
+// vaFlagShard queues channel ch — which must be owned by sh — for a VA
+// pass in the next allocShard.
+func (s *Simulator) vaFlagShard(sh *simShard, ch int32) {
 	if !s.vaFlagged[ch] {
 		s.vaFlagged[ch] = true
-		s.vaRetry = append(s.vaRetry, ch)
+		sh.vaRetry = append(sh.vaRetry, ch)
 	}
 }
 
@@ -509,7 +562,12 @@ func (s *Simulator) vaFlag(ch int32) {
 // buffer bi: the statically requested one, or any free one under dynamic
 // allocation. On success the buffer leaves the VA wait list, joins the
 // channel's switch-allocation wait list, and becomes active.
-func (s *Simulator) tryClaim(ch, bi int32) {
+//
+// The owner write on the downstream buffer may cross shards, but it is
+// race-free: only ch's owning shard (this one) claims ch's VCs, and a
+// claimable VC is empty and unowned, so the downstream home shard does
+// not touch it during phaseRoute.
+func (s *Simulator) tryClaim(sh *simShard, ch, bi int32) {
 	b := &s.bufs[bi]
 	downBase := ch * s.nVCs
 	vc := int32(-1)
@@ -532,132 +590,133 @@ func (s *Simulator) tryClaim(ch, bi int32) {
 	b.active, b.eject = true, false
 	b.outVC = vc
 	b.readyAt = s.cycle + int64(s.cfg.PipelineStages) - 1
-	s.chanPush(ch, bi)
+	s.chanPush(sh, ch, bi)
 }
 
-// switchAllocateAndTraverse arbitrates each active output channel (one
-// flit per cycle) and each node with ejection work (LocalBandwidth flits
-// per cycle), then moves the winning flits. Channels and nodes whose
-// wait lists emptied are pruned from the active sets lazily.
-func (s *Simulator) switchAllocateAndTraverse() {
-	for i := 0; i < len(s.activeChans); {
-		ch := s.activeChans[i]
+// switchShard arbitrates each of the shard's active output channels (one
+// flit per cycle). Dequeues and downstream pushes are deferred to the
+// commit phase, so every count read here — including the credit check on
+// the downstream buffer, which may live in another shard — is the stable
+// pre-cycle value. The credit check therefore cannot see a dequeue made
+// elsewhere in this same cycle: a full-but-draining downstream buffer
+// admits the next flit one cycle later than the old sequential core
+// sometimes did (that core's visibility depended on channel iteration
+// order). The conservative timing is deterministic and identical at any
+// worker count.
+func (s *Simulator) switchShard(sh *simShard) {
+	for i := 0; i < len(sh.activeChans); {
+		ch := sh.activeChans[i]
 		if s.chanWait[ch] < 0 {
-			last := len(s.activeChans) - 1
-			s.activeChans[i] = s.activeChans[last]
-			s.activeChans = s.activeChans[:last]
+			last := len(sh.activeChans) - 1
+			sh.activeChans[i] = sh.activeChans[last]
+			sh.activeChans = sh.activeChans[:last]
 			s.chanQueued[ch] = false
 			continue
 		}
-		cands := s.scratch[:0]
+		cands := sh.scratch[:0]
 		for bi := s.chanWait[ch]; bi >= 0; bi = s.bufs[bi].next {
 			b := &s.bufs[bi]
 			if b.count == 0 || s.cycle < b.readyAt {
 				continue
 			}
 			down := ch*s.nVCs + b.outVC
-			if s.bufs[down].count+s.stagedCnt[down] >= s.depth {
+			if s.bufs[down].count >= s.depth {
 				continue // no credit
 			}
 			cands = append(cands, bi)
 		}
-		s.scratch = cands
+		sh.scratch = cands
 		if len(cands) > 0 {
 			pick := cands[s.rrOut[ch]%len(cands)]
 			s.rrOut[ch]++
-			s.forward(pick)
+			s.forward(sh, pick)
 		}
 		i++
 	}
-	for i := 0; i < len(s.activeEject); {
-		n := s.activeEject[i]
+}
+
+// ejectShard consumes up to LocalBandwidth flits per owned node with
+// ejection work. Dequeues are deferred, so candidate eligibility within
+// the budget loop uses the effective count (count minus this cycle's
+// recorded pops) to reproduce the sequential budget semantics exactly.
+func (s *Simulator) ejectShard(sh *simShard) {
+	for i := 0; i < len(sh.activeEject); {
+		n := sh.activeEject[i]
 		if s.ejectWait[n] < 0 {
-			last := len(s.activeEject) - 1
-			s.activeEject[i] = s.activeEject[last]
-			s.activeEject = s.activeEject[:last]
+			last := len(sh.activeEject) - 1
+			sh.activeEject[i] = sh.activeEject[last]
+			sh.activeEject = sh.activeEject[:last]
 			s.ejectQueued[n] = false
 			continue
 		}
 		for budget := s.cfg.LocalBandwidth; budget > 0; budget-- {
-			cands := s.scratch[:0]
+			cands := sh.scratch[:0]
 			for bi := s.ejectWait[n]; bi >= 0; bi = s.bufs[bi].next {
 				b := &s.bufs[bi]
-				if b.count > 0 && s.cycle >= b.readyAt {
+				if b.count-s.popCnt[bi] > 0 && s.cycle >= b.readyAt {
 					cands = append(cands, bi)
 				}
 			}
-			s.scratch = cands
+			sh.scratch = cands
 			if len(cands) == 0 {
 				break
 			}
 			pick := cands[s.rrEjct[n]%len(cands)]
 			s.rrEjct[n]++
-			s.ejectFlit(pick)
+			s.ejectFlit(sh, pick)
 		}
 		i++
 	}
 }
 
-// forward dequeues the head flit of buffer bi and stages it into the
-// routed (outCh, outVC) buffer downstream.
-func (s *Simulator) forward(bi int32) {
+// forward records the dequeue of buffer bi's head flit and routes it to
+// the downstream buffer's shard for the commit phase.
+func (s *Simulator) forward(sh *simShard, bi int32) {
 	b := &s.bufs[bi]
-	f := s.popFlit(bi, b)
-	s.stage(f, b.outCh*s.nVCs+b.outVC)
-	s.flitHops++
+	f := s.headFlit(bi, b) // channel waiters dequeue at most once per cycle
+	sh.pops = append(sh.pops, bi)
+	s.popCnt[bi]++
+	down := b.outCh*s.nVCs + b.outVC
+	dst := s.shardOfBuf(down)
+	sh.stageOut[dst] = append(sh.stageOut[dst], stagedFlit{f: f, buf: down})
+	sh.flitHops++
 	if int(f.idx) == s.cfg.PacketLen-1 {
-		s.release(bi, b) // tail left: free this VC for the next packet
+		s.release(sh, bi, b) // tail left: free this VC for the next packet
 	}
-	s.lastMove = s.cycle
+	sh.moved = true
 }
 
-// ejectFlit consumes the head flit of buffer bi at its destination; on
-// the tail, statistics are recorded and the packet record is recycled.
-func (s *Simulator) ejectFlit(bi int32) {
+// ejectFlit consumes the next flit of buffer bi at its destination; on
+// the tail, statistics are recorded and the packet record is retired
+// (recycled into freePkts by postCycle, in shard order). Per-flow
+// statistics are written directly: a flow ejects only at its one
+// destination node, so the write is exclusive to this shard.
+func (s *Simulator) ejectFlit(sh *simShard, bi int32) {
 	b := &s.bufs[bi]
-	f := s.popFlit(bi, b)
-	s.inFlight--
-	s.flitHops++
-	s.lastMove = s.cycle
+	pos := b.head + s.popCnt[bi]
+	if pos >= s.depth {
+		pos -= s.depth
+	}
+	f := s.flits[bi*s.depth+pos]
+	sh.pops = append(sh.pops, bi)
+	s.popCnt[bi]++
+	sh.inFlightDelta--
+	sh.flitHops++
+	sh.moved = true
 	if int(f.idx) == s.cfg.PacketLen-1 {
-		s.release(bi, b)
+		s.release(sh, bi, b)
 		p := &s.packets[f.pkt]
 		p.doneT = s.cycle
-		s.delivered++
+		sh.delivered++
 		if s.cycle >= s.cfg.WarmupCycles {
-			s.mDelivered++
+			sh.mDelivered++
 			s.perFlow[p.flow]++
 			lat := p.doneT - p.enterT
-			s.mLatencySum += lat
-			s.mTotalLatSum += p.doneT - p.createT
+			sh.mLatencySum += lat
+			sh.mTotalLatSum += p.doneT - p.createT
 			s.perFlowLat[p.flow].Add(float64(lat))
-			s.latencyHist.Add(float64(lat))
+			sh.hist.Add(float64(lat))
 		}
-		s.freePkts = append(s.freePkts, f.pkt)
+		sh.freed = append(sh.freed, f.pkt)
 	}
-}
-
-// stage records a flit delivery applied at end of cycle, so all routers
-// observe a consistent pre-cycle state; stagedCnt keeps the O(1) credit
-// accounting.
-func (s *Simulator) stage(f flitRef, buf int32) {
-	s.staged = append(s.staged, stagedFlit{f: f, buf: buf})
-	s.stagedCnt[buf]++
-}
-
-func (s *Simulator) applyStaged() {
-	for _, d := range s.staged {
-		b := &s.bufs[d.buf]
-		s.pushFlit(d.buf, b, d.f)
-		s.stagedCnt[d.buf]--
-		if d.buf >= s.injBase {
-			s.inFlight++ // new flit entered the network
-		}
-		// A header landing in an empty, unrouted buffer is new RC/VA work.
-		if b.count == 1 && !b.active && !b.pending {
-			b.pending = true
-			s.routePending = append(s.routePending, d.buf)
-		}
-	}
-	s.staged = s.staged[:0]
 }

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/route"
 	"repro/internal/topology"
@@ -15,47 +16,102 @@ type tableEntry struct {
 	vc   int32
 }
 
-// routingTable is the programmable table-based routing state: a single
-// flat array indexed by flow*(NumChannels+1) + arrival, where arrival 0
-// is the injection pseudo-channel and arrival ch+1 the physical channel
-// ch. Routes never repeat a channel (route.Set Validate enforces it), so
-// the (flow, arrival channel) key is unambiguous even when a route
-// crosses one node twice. The flat layout keeps the hot lookup a single
-// multiply-add with no pointer chase through per-flow slices.
+// routingTable is the programmable table-based routing state, keyed by
+// (flow, arrival channel). Routes never repeat a channel (route.Set
+// Validate enforces it), so the key is unambiguous even when a route
+// crosses one node twice.
+//
+// The layout is sparse: each flow's row holds only the channels its
+// route actually crosses, sorted, in one shared arena. A dense
+// flow x (NumChannels+1) array would be O(flows * channels) — about half
+// a gigabyte for a 64x64 transpose, with table construction dominating
+// the whole run — where the sparse rows total one entry per route hop.
+// The lookup is a binary search over a route-length row (tens of
+// entries), paid once per packet per hop in the RC stage, not per flit.
 type routingTable struct {
-	entries []tableEntry
-	stride  int // NumChannels+1
+	// inject is the per-flow injection decision (the dense layout's
+	// arrival-0 pseudo-entry).
+	inject []tableEntry
+	// off[f]..off[f+1] bounds flow f's row in keys/ents.
+	off  []int32
+	keys []topology.ChannelID // arrival channels, sorted per row
+	ents []tableEntry
 }
 
-func buildTable(topo topology.Topology, set *route.Set) (*routingTable, error) {
-	stride := topo.NumChannels() + 1
+func buildTable(set *route.Set) (*routingTable, error) {
+	nf := len(set.Routes)
+	total := 0
+	for _, r := range set.Routes {
+		total += len(r.Channels)
+	}
 	t := &routingTable{
-		entries: make([]tableEntry, len(set.Routes)*stride),
-		stride:  stride,
+		inject: make([]tableEntry, nf),
+		off:    make([]int32, nf+1),
+		keys:   make([]topology.ChannelID, 0, total),
+		ents:   make([]tableEntry, 0, total),
 	}
-	for i := range t.entries {
-		t.entries[i] = tableEntry{next: topology.InvalidChannel, vc: -1}
+	type pair struct {
+		key topology.ChannelID
+		ent tableEntry
 	}
+	var row []pair
 	for i, r := range set.Routes {
-		row := t.entries[i*stride : (i+1)*stride]
 		if len(r.Channels) == 0 {
 			return nil, fmt.Errorf("sim: flow %s has no route", r.Flow.Name)
 		}
-		row[0] = tableEntry{next: r.Channels[0], vc: int32(r.VCs[0])}
+		t.inject[i] = tableEntry{next: r.Channels[0], vc: int32(r.VCs[0])}
+		row = row[:0]
 		for h := 0; h < len(r.Channels); h++ {
 			e := tableEntry{next: topology.InvalidChannel, vc: -1}
 			if h+1 < len(r.Channels) {
 				e = tableEntry{next: r.Channels[h+1], vc: int32(r.VCs[h+1])}
 			}
-			row[int(r.Channels[h])+1] = e
+			row = append(row, pair{key: r.Channels[h], ent: e})
 		}
+		sort.Slice(row, func(a, b int) bool { return row[a].key < row[b].key })
+		for _, p := range row {
+			t.keys = append(t.keys, p.key)
+			t.ents = append(t.ents, p.ent)
+		}
+		t.off[i+1] = int32(len(t.keys))
 	}
 	return t, nil
 }
 
-// lookup returns the routing decision for flow i arriving on channel ch.
-// topology.InvalidChannel (-1) selects the injection pseudo-entry, so
-// the index expression is branch-free for every arrival kind.
+// lookup returns the routing decision for flow arriving on channel ch;
+// topology.InvalidChannel (-1) selects the injection pseudo-entry.
 func (t *routingTable) lookup(flow int, ch topology.ChannelID) tableEntry {
-	return t.entries[flow*t.stride+int(ch)+1]
+	if ch == topology.InvalidChannel {
+		return t.inject[flow]
+	}
+	lo, hi := t.off[flow], t.off[flow+1]
+	for lo < hi {
+		mid := int32(uint32(lo+hi) >> 1)
+		if t.keys[mid] < ch {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < t.off[flow+1] && t.keys[lo] == ch {
+		return t.ents[lo]
+	}
+	// Packets follow their own table, so an off-route arrival cannot
+	// happen; mirror the dense layout's zero entry (eject) regardless.
+	return tableEntry{next: topology.InvalidChannel, vc: -1}
+}
+
+// crossesDead reports whether flow f's route references any channel
+// marked in dead — the churn purge predicate. One scan of the flow's
+// sparse row replaces the dense layout's full-stride sweep.
+func (t *routingTable) crossesDead(f int, dead []bool) bool {
+	if dead[t.inject[f].next] {
+		return true
+	}
+	for _, ch := range t.keys[t.off[f]:t.off[f+1]] {
+		if dead[ch] {
+			return true
+		}
+	}
+	return false
 }
