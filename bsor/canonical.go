@@ -1,0 +1,55 @@
+package bsor
+
+import "encoding/json"
+
+// Canonical validates the spec and returns it with every package-level
+// default resolved into explicit fields: the algorithm name in canonical
+// case (empty becomes the package default BSOR-Dijkstra), VCs, the
+// breaker exploration set of a BSOR variant (empty becomes the
+// topology's DefaultBreakers, spelled out), and the simulation cycle
+// counts. Two specs that execute identically — however sparsely their
+// JSON spells the defaults — canonicalize to the same value.
+//
+// Pure speed knobs are cleared: SimSpec.Workers never changes result
+// bytes (DESIGN.md §15), so it is not part of a spec's identity. The
+// diagnostic Name is kept — results echo it, so specs differing only by
+// Name produce different output.
+//
+// Canonical resolves the package defaults, not a Pipeline's: options
+// like WithSelector and WithSimDefaults shift what an empty field means
+// for that pipeline, and a caller comparing specs across differently
+// configured pipelines must spell those fields explicitly.
+func (s Spec) Canonical() (Spec, error) {
+	s = s.withDefaults(defaultConfig())
+	if err := s.validate(""); err != nil {
+		return Spec{}, err
+	}
+	if isBSOR(s.Algorithm) && len(s.Breakers) == 0 {
+		s.Breakers = DefaultBreakers(s.Topo)
+	}
+	if s.Sim != nil {
+		sim := *s.Sim // withDefaults already copied; keep Canonical alias-free
+		sim.Workers = 0
+		s.Sim = &sim
+	}
+	return s, nil
+}
+
+// CanonicalKey returns the canonical serialization of the spec: the
+// JSON encoding of Canonical(), whose field order is fixed by the Spec
+// struct, not by how a client happened to order its request document.
+// Identical specs — same effective work, any JSON field order, defaults
+// spelled or omitted — yield byte-identical keys, which is what makes
+// the key safe to use for caching and request deduplication (the bsord
+// daemon's route-set cache and singleflight group key on it).
+func (s Spec) CanonicalKey() (string, error) {
+	c, err := s.Canonical()
+	if err != nil {
+		return "", err
+	}
+	b, err := json.Marshal(c)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}

@@ -43,7 +43,6 @@ package main
 
 import (
 	"context"
-	"expvar"
 	"flag"
 	"fmt"
 	"net"
@@ -558,8 +557,7 @@ func setupMetrics(dst string) (*metrics.Collector, error) {
 		return c, nil
 	}
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", c.Handler())
-	mux.Handle("/debug/vars", expvar.Handler())
+	metrics.Register(mux, c)
 	ln, err := net.Listen("tcp", dst)
 	if err != nil {
 		return nil, fmt.Errorf("-metrics %s: %w", dst, err)

@@ -1,0 +1,24 @@
+package metrics
+
+import (
+	"expvar"
+	"net/http"
+)
+
+// Register mounts the collector's HTTP surface on mux — the one serving
+// layout shared by every tool in the module (cmd/experiments -metrics,
+// the bsord daemon):
+//
+//	/metrics     Prometheus text exposition (Content-Type
+//	             text/plain; version=0.0.4; charset=utf-8)
+//	/debug/vars  the process-wide expvar JSON document
+//
+// /debug/vars serves whatever the process has published; pair Register
+// with PublishExpvar to include this collector's snapshot there.
+// Register only mounts handlers — it does not listen, publish, or spawn
+// anything, so it composes with an existing mux (the daemon mounts its
+// API routes alongside).
+func Register(mux *http.ServeMux, c *Collector) {
+	mux.Handle("/metrics", c.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+}

@@ -1,0 +1,56 @@
+package metrics
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestRegisterServeMux checks the shared serving layout: /metrics is
+// Prometheus text with the version-0.0.4 Content-Type, /debug/vars is
+// the expvar JSON document, and nothing else is mounted.
+func TestRegisterServeMux(t *testing.T) {
+	c := New()
+	c.Counter("serve_test_total").Add(3)
+	mux := http.NewServeMux()
+	Register(mux, c)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	get := func(path string) (*http.Response, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return resp, string(body)
+	}
+
+	resp, body := get("/metrics")
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("/metrics Content-Type = %q, want the Prometheus text type", ct)
+	}
+	if !strings.Contains(body, "# TYPE serve_test_total counter") ||
+		!strings.Contains(body, "serve_test_total 3") {
+		t.Errorf("/metrics body missing the registered counter:\n%s", body)
+	}
+
+	resp, body = get("/debug/vars")
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("/debug/vars Content-Type = %q, want application/json", ct)
+	}
+	if !strings.HasPrefix(strings.TrimSpace(body), "{") {
+		t.Errorf("/debug/vars is not a JSON document:\n%s", body)
+	}
+
+	if resp, _ := get("/anything-else"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unmounted path served %d, want 404", resp.StatusCode)
+	}
+}

@@ -1,0 +1,68 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is the daemon's route-set response cache: finished response
+// bodies keyed by "<endpoint> <canonical spec key>", evicting least
+// recently used entries past a fixed capacity. Bodies are stored and
+// served verbatim, which is what makes responses for identical specs
+// byte-identical across requests — the JSON is rendered once per
+// computation, not once per request.
+//
+// Entries are immutable once inserted (callers must not mutate a
+// returned body) and only successful responses are cached; errors are
+// cheap to recompute and must not shadow a later success.
+type lruCache struct {
+	mu  sync.Mutex
+	max int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+type lruEntry struct {
+	key  string
+	body []byte
+}
+
+func newLRUCache(max int) *lruCache {
+	return &lruCache{max: max, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// get returns the cached body for key and refreshes its recency.
+func (c *lruCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).body, true
+}
+
+// add inserts (or refreshes) key's body and evicts past capacity.
+func (c *lruCache) add(key string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).body = body
+		return
+	}
+	c.m[key] = c.ll.PushFront(&lruEntry{key: key, body: body})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// len reports the current entry count.
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

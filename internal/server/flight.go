@@ -1,0 +1,56 @@
+package server
+
+import "sync"
+
+// call is one in-flight computation of a cache key. Waiters block on
+// done; body/err are written exactly once, before done closes.
+type call struct {
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+// flightGroup is the daemon's singleflight: at most one computation per
+// key is in flight, and every concurrent request for that key waits on
+// the same call instead of queueing its own. A thundering herd of
+// identical specs therefore costs one synthesis and one queue slot.
+//
+// Unlike golang.org/x/sync/singleflight, the group does not run the
+// function itself — the leader carries the call through the admission
+// queue to a worker, which resolves it via complete. That split is what
+// lets followers wait without consuming queue slots, and what makes a
+// shed or drained leader propagate its typed error to every waiter.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*call
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*call)}
+}
+
+// join returns the call for key, creating it when none is in flight.
+// leader is true for the creator, who is then responsible for getting
+// the call resolved (by enqueueing a job, or by completing it with an
+// admission error).
+func (g *flightGroup) join(key string) (c *call, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.m[key]; ok {
+		return c, false
+	}
+	c = &call{done: make(chan struct{})}
+	g.m[key] = c
+	return c, true
+}
+
+// complete resolves a call and removes it from the group, waking every
+// waiter. Removal happens first, so a request arriving after completion
+// starts a fresh flight (or, on success, hits the response cache).
+func (g *flightGroup) complete(key string, c *call, body []byte, err error) {
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	c.body, c.err = body, err
+	close(c.done)
+}

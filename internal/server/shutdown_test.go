@@ -1,0 +1,207 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// canceledContext returns an already-cancelled context: the "drain
+// deadline has passed" shape of Shutdown.
+func canceledContext() (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return ctx, cancel
+}
+
+// settleGoroutines polls until the goroutine count returns to the
+// baseline (the runtime needs a moment to unwind).
+func settleGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after shutdown", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestGracefulShutdownDrainsInflight: a computation in flight when
+// Shutdown begins runs to completion and its client gets a full 200;
+// requests arriving during the drain get a clean typed 503; no server
+// goroutine survives.
+func TestGracefulShutdownDrainsInflight(t *testing.T) {
+	before := runtime.NumGoroutine()
+	col := metrics.New()
+	s := New(Config{Workers: 2, Metrics: col})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// ~0.1s of simulation: long enough to be mid-flight at Shutdown,
+	// short enough to drain well inside the deadline.
+	spec := `{"topo":{"kind":"mesh","width":4,"height":4},"workload":"transpose",
+		"sim":{"rates":[2],"warmup":1000,"measure":50000,"seed":3}}`
+	type outcome struct {
+		status int
+		body   []byte
+	}
+	result := make(chan outcome, 1)
+	go func() {
+		resp, err := ts.Client().Post(ts.URL+"/v1/sim", "application/json", strings.NewReader(spec))
+		if err != nil {
+			result <- outcome{status: -1, body: []byte(err.Error())}
+			return
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		result <- outcome{status: resp.StatusCode, body: body}
+	}()
+	waitFor(t, func() bool { return metricValue(col, "server_inflight") == 1 })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("graceful Shutdown returned %v, want nil", err)
+	}
+
+	got := <-result
+	if got.status != http.StatusOK {
+		t.Fatalf("in-flight request finished with %d during drain, want 200: %s", got.status, got.body)
+	}
+
+	// The daemon now refuses work with the typed drain error.
+	resp, body := post(t, ts.Client(), ts.URL+"/v1/synthesize", synthSpec)
+	var envelope ErrorBody
+	if resp.StatusCode != http.StatusServiceUnavailable ||
+		json.Unmarshal(body, &envelope) != nil || envelope.Error.Kind != "shutting_down" {
+		t.Errorf("post-drain request: %d kind %q, want 503 shutting_down", resp.StatusCode, envelope.Error.Kind)
+	}
+	hresp, hbody := get(t, ts.Client(), ts.URL+"/healthz")
+	if hresp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(hbody), "draining") {
+		t.Errorf("healthz during drain: %d %s, want 503 draining", hresp.StatusCode, hbody)
+	}
+
+	ts.Close()
+	settleGoroutines(t, before)
+}
+
+// TestShutdownCancelsQueuedAndInflight: with the drain deadline already
+// past, Shutdown hard-cancels mid-synthesis work through the context
+// plumbing, fails queued-but-unstarted jobs with the typed shutdown
+// error, returns the deadline's error, and leaks nothing.
+func TestShutdownCancelsQueuedAndInflight(t *testing.T) {
+	before := runtime.NumGoroutine()
+	col := metrics.New()
+	s := New(Config{Workers: 1, QueueDepth: 4, Metrics: col})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Effectively unbounded simulations (cancellation is the only exit).
+	slow := func(name string) string {
+		return fmt.Sprintf(`{"name":%q,"topo":{"kind":"mesh","width":4,"height":4},"workload":"transpose",
+			"sim":{"rates":[1],"warmup":1000,"measure":80000000,"seed":1}}`, name)
+	}
+	type outcome struct {
+		name   string
+		status int
+		kind   string
+	}
+	results := make(chan outcome, 3)
+	var wg sync.WaitGroup
+	launch := func(name string) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := ts.Client().Post(ts.URL+"/v1/sim?timeout=1m", "application/json",
+				strings.NewReader(slow(name)))
+			if err != nil {
+				results <- outcome{name: name, status: -1}
+				return
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			var envelope ErrorBody
+			_ = json.Unmarshal(body, &envelope)
+			results <- outcome{name: name, status: resp.StatusCode, kind: envelope.Error.Kind}
+		}()
+	}
+	launch("inflight")
+	waitFor(t, func() bool { return metricValue(col, "server_inflight") == 1 })
+	launch("queued-1")
+	launch("queued-2")
+	waitFor(t, func() bool { return metricValue(col, "server_queue_depth") == 2 })
+
+	ctx, cancel := canceledContext()
+	defer cancel()
+	start := time.Now()
+	err := s.Shutdown(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Shutdown with expired deadline returned %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("hard shutdown took %v; cancellation did not propagate", elapsed)
+	}
+
+	wg.Wait()
+	close(results)
+	for got := range results {
+		if got.status != http.StatusServiceUnavailable {
+			t.Errorf("%s: status %d, want 503", got.name, got.status)
+		}
+		switch got.name {
+		case "inflight":
+			// Hard-cancelled mid-synthesis: surfaces as the cancellation.
+			if got.kind != "canceled" && got.kind != "shutting_down" {
+				t.Errorf("inflight kind = %q, want canceled (or shutting_down)", got.kind)
+			}
+		default:
+			// Never started: the clean typed drain error, not a timeout.
+			if got.kind != "shutting_down" {
+				t.Errorf("%s kind = %q, want shutting_down", got.name, got.kind)
+			}
+		}
+	}
+
+	ts.Close()
+	settleGoroutines(t, before)
+}
+
+// TestShutdownIsIdempotent: concurrent and repeated Shutdown calls all
+// resolve to the first outcome, and a server that never served a
+// request shuts down cleanly too.
+func TestShutdownIsIdempotent(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s := New(Config{Workers: 4})
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := range errs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = s.Shutdown(context.Background())
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("Shutdown call %d returned %v, want nil", i, err)
+		}
+	}
+	settleGoroutines(t, before)
+}

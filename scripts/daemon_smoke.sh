@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# daemon_smoke.sh — end-to-end smoke test of the bsord daemon.
+#
+# Builds bsord and bsordload, boots the daemon on a free port, and
+# checks the service contract a client depends on:
+#
+#   1. /healthz answers 200 "ok".
+#   2. /v1/synthesize on the committed smoke spec returns the committed
+#      golden body, byte for byte (cmd/bsord/testdata/) — this is the
+#      cross-process half of the byte-identity guarantee; the in-process
+#      half lives in internal/server tests.
+#   3. A thundering-herd load run (identical specs) stays inside its
+#      p99 / error-rate / dedup budgets and observes one body per key.
+#   4. SIGTERM drains cleanly: the daemon logs "drained cleanly" and
+#      exits 0 within the drain deadline.
+#
+# Usage:  scripts/daemon_smoke.sh
+#   CLIENTS=200 N=2000 P99=5s scripts/daemon_smoke.sh   # heavier run
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLIENTS="${CLIENTS:-100}"
+N="${N:-1000}"
+P99="${P99:-10s}"
+
+workdir=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+    [ -n "$daemon_pid" ] && kill -KILL "$daemon_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+go build -o "$workdir/bsord" ./cmd/bsord
+go build -o "$workdir/bsordload" ./cmd/bsordload
+
+"$workdir/bsord" -addr 127.0.0.1:0 >"$workdir/bsord.out" 2>"$workdir/bsord.err" &
+daemon_pid=$!
+
+# The daemon prints its bound address to stdout once listening.
+url=""
+for _ in $(seq 1 50); do
+    url=$(sed -n 's/^bsord: listening on //p' "$workdir/bsord.out")
+    [ -n "$url" ] && break
+    kill -0 "$daemon_pid" 2>/dev/null || { cat "$workdir/bsord.err" >&2; echo "daemon_smoke: bsord died on startup" >&2; exit 1; }
+    sleep 0.1
+done
+[ -n "$url" ] || { echo "daemon_smoke: bsord never reported its address" >&2; exit 1; }
+echo "daemon_smoke: bsord up at $url (pid $daemon_pid)"
+
+# 1. Health.
+health=$(curl -fsS "$url/healthz")
+echo "$health" | grep -q '"ok"' || { echo "daemon_smoke: unexpected /healthz body: $health" >&2; exit 1; }
+
+# 2. Golden synthesis body, byte for byte.
+curl -fsS -X POST "$url/v1/synthesize" \
+    --data-binary @cmd/bsord/testdata/synthesize-smoke.spec.json \
+    -o "$workdir/synthesize.json"
+diff cmd/bsord/testdata/synthesize-smoke.golden.json "$workdir/synthesize.json" || {
+    echo "daemon_smoke: /v1/synthesize drifted from the committed golden body" >&2
+    echo "If intentional, refresh it: curl -s -X POST <url>/v1/synthesize --data-binary @cmd/bsord/testdata/synthesize-smoke.spec.json > cmd/bsord/testdata/synthesize-smoke.golden.json" >&2
+    exit 1
+}
+echo "daemon_smoke: /v1/synthesize matches the golden body"
+
+# 3. Thundering-herd load under budgets (self-asserting: exits 1 on
+# violation). The first request above warmed the cache, so the herd
+# must be ~100% deduplicated.
+"$workdir/bsordload" -url "$url" -clients "$CLIENTS" -n "$N" \
+    -p99-budget "$P99" -max-error-rate 0 -min-dedup 0.9
+
+# 4. Graceful drain.
+kill -TERM "$daemon_pid"
+for _ in $(seq 1 100); do
+    kill -0 "$daemon_pid" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$daemon_pid" 2>/dev/null; then
+    echo "daemon_smoke: bsord still running 10s after SIGTERM" >&2
+    exit 1
+fi
+wait "$daemon_pid" && status=0 || status=$?
+daemon_pid=""
+[ "$status" -eq 0 ] || { cat "$workdir/bsord.err" >&2; echo "daemon_smoke: bsord exited $status on drain" >&2; exit 1; }
+grep -q "drained cleanly" "$workdir/bsord.err" || { cat "$workdir/bsord.err" >&2; echo "daemon_smoke: no clean-drain log line" >&2; exit 1; }
+echo "daemon_smoke: SIGTERM drained cleanly"
+echo "daemon_smoke: PASS"
